@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's figures/tables via its
+``repro.experiments`` harness, prints the figure-shaped output, and asserts
+the *shape* of the paper's result (who wins, by roughly what factor, where
+crossovers fall). Absolute numbers are expected to differ — the substrate
+is a simulator, not SDSC's machine room (see EXPERIMENTS.md).
+
+Simulations are deterministic, so a single round is meaningful;
+``run_experiment`` wraps pedantic single-shot benchmarking and output
+printing.
+"""
+
+import pytest
+
+from repro.experiments.harness import format_result
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment once under the benchmark clock and print it."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+        with capsys.disabled():
+            print()
+            print(format_result(result))
+        return result
+
+    return _run

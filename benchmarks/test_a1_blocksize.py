@@ -1,0 +1,14 @@
+"""A1 benchmark — ablation: filesystem block size vs WAN throughput."""
+
+from repro.experiments.ablations import run_a1_blocksize
+
+
+def test_a1_blocksize(run_experiment):
+    result = run_experiment(run_a1_blocksize)
+    rates = [
+        result.metric(f"rate_bs{k}k") for k in (256, 512, 1024, 2048, 4096)
+    ]
+    # bigger blocks → deeper in-flight window → higher WAN throughput,
+    # with diminishing returns once the NIC saturates
+    assert rates[0] < rates[2] < rates[-1] * 1.01
+    assert rates[-1] > 2 * rates[0]

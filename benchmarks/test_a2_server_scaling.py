@@ -1,0 +1,19 @@
+"""A2 benchmark — ablation: NSD server count vs aggregate rate."""
+
+from repro.experiments.ablations import run_a2_server_scaling
+from repro.util.units import MiB
+
+
+def test_a2_server_scaling(run_experiment):
+    result = run_experiment(
+        run_a2_server_scaling, server_counts=(8, 16, 32), clients=24,
+        region_bytes=MiB(48),
+    )
+    r8 = result.metric("rate_8srv")
+    r16 = result.metric("rate_16srv")
+    r32 = result.metric("rate_32srv")
+    # server GbE aggregate binds at the low end: doubling servers helps a lot
+    assert r16 > 1.5 * r8
+    # until the fixed client population becomes the limit
+    assert r32 > r16
+    assert r32 < 4 * r8

@@ -1,0 +1,22 @@
+"""A3 benchmark — ablation: TCP window vs rate at the SC'02 RTT."""
+
+import pytest
+
+from repro.experiments.ablations import run_a3_window
+from repro.util.units import Gbps, KiB
+
+
+def test_a3_window(run_experiment):
+    result = run_experiment(run_a3_window)
+    # small windows: rate ~= window / RTT (the 2005 default-stack problem)
+    assert result.metric("single_64k") == pytest.approx(
+        KiB(64) / 0.080, rel=0.1
+    )
+    # windows scale single-stream rate linearly until the link binds
+    assert result.metric("single_1024k") == pytest.approx(
+        16 * result.metric("single_64k"), rel=0.1
+    )
+    # 32 streams multiply the per-window rate ~32x below saturation...
+    assert result.metric("parallel32_256k") > 25 * result.metric("single_256k")
+    # ...and reach line rate once windows hit a few MiB
+    assert result.metric("parallel32_4096k") > Gbps(9)

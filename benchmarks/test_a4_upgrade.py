@@ -1,0 +1,11 @@
+"""A4 benchmark — the §8 upgrade path: 1 vs 2 GbE per NSD server."""
+
+from repro.experiments.ablations import run_a4_upgrade_path
+
+
+def test_a4_upgrade_path(run_experiment):
+    result = run_experiment(run_a4_upgrade_path, clients=32, nsd_servers=12)
+    # with servers oversubscribed, doubling their NICs is a big win
+    assert result.metric("upgrade_gain") > 1.5
+    # and cannot more than double
+    assert result.metric("upgrade_gain") <= 2.05

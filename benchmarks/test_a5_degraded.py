@@ -1,0 +1,18 @@
+"""A5 benchmark — degraded RAID service and NSD server failover."""
+
+from repro.experiments.ablations import run_a5_degraded
+
+
+def test_a5_degraded(run_experiment):
+    result = run_experiment(run_a5_degraded)
+    # degraded < rebuilding < healthy service (reconstruction costs)
+    assert (
+        result.metric("lun_rate_degraded")
+        < result.metric("lun_rate_rebuilding")
+        < result.metric("lun_rate_healthy")
+    )
+    # losing one of eight NSD servers costs throughput but not availability
+    after = result.metric("fs_rate_after_failover")
+    before = result.metric("fs_rate_before_failover")
+    assert 0.5 * before < after < before
+    assert result.metric("failovers") > 0

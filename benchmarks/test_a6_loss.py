@@ -1,0 +1,16 @@
+"""A6 benchmark — loss rate vs throughput (Mathis cap)."""
+
+from repro.experiments.ablations import run_a6_loss
+from repro.util.units import Gbps
+
+
+def test_a6_loss(run_experiment):
+    result = run_experiment(run_a6_loss)
+    # loss-free and 1e-6 loss are window-limited, not loss-limited
+    assert result.metric("single_0") == result.metric("single_1em06")
+    # Mathis scaling: 100x more loss → 10x less single-stream rate
+    ratio = result.metric("single_1em05") / result.metric("single_1em03")
+    assert 8 < ratio < 12.5
+    # parallelism buys loss tolerance: 32 streams hold line rate to 1e-5
+    assert result.metric("parallel32_1em05") > Gbps(9)
+    assert result.metric("parallel32_1em03") < Gbps(2)

@@ -1,0 +1,17 @@
+"""E10 benchmark — §8: HSM migration/recall and dual-site archive."""
+
+from repro.experiments.e10_hsm import run_e10
+
+
+def test_e10_hsm(run_experiment):
+    result = run_experiment(run_e10)
+    # the water-mark policy brings occupancy from above high water to at or
+    # below the low water mark
+    assert result.metric("occupancy_before") > 0.55
+    assert result.metric("occupancy_after") <= 0.32
+    assert result.metric("migrated_files") > 0
+    # recall is seconds-to-minutes (tape robot + seek), warm < cold
+    assert result.metric("recall_warm_s") < result.metric("recall_cold_s")
+    assert 10 < result.metric("recall_cold_s") < 600
+    # the copyright-library second copy is complete
+    assert result.metric("replicated_segments") == result.metric("migrated_files")

@@ -1,0 +1,15 @@
+"""E11 benchmark — BG/L "Intimidata" on the production GFS (§5/§8)."""
+
+from repro.experiments.e11_bgl import run_e11_bgl
+from repro.util.units import MB
+
+
+def test_e11_bgl(run_experiment):
+    result = run_experiment(run_e11_bgl, io_nodes=32, per_io_node_bytes=MB(192))
+    # checkpoint writes are storage-bound: the NIC upgrade barely moves them
+    w1, w2 = result.metric("drain_rate_1gbe"), result.metric("drain_rate_2gbe")
+    assert w2 < 1.2 * w1
+    # restart reads benefit from more server NIC aggregate
+    assert result.metric("read_rate_2gbe") > result.metric("read_rate_1gbe")
+    # reads always beat writes on this filesystem (the Fig 11 asymmetry)
+    assert result.metric("read_rate_1gbe") > 1.3 * w1

@@ -1,0 +1,16 @@
+"""E12 benchmark — the 250 TB SCEC run on the production GFS."""
+
+from repro.experiments.e12_scec import run_e12_scec
+from repro.util.units import GB, TB
+
+
+def test_e12_scec(run_experiment):
+    result = run_experiment(run_e12_scec)
+    # the production write path sustains ~1 GB/s for a 32-rank run
+    assert GB(0.5) < result.metric("write_rate") < GB(4)
+    # a full 250 TB run drains in days, not hours or months
+    assert 1 < result.metric("drain_days") < 10
+    # capacity: fits empty, does NOT fit alongside 250 TB of resident data
+    assert result.metric("fits_empty") == 1.0
+    assert result.metric("fits_with_resident_data") == 0.0
+    assert result.metric("hsm_must_free") > TB(10)

@@ -1,0 +1,14 @@
+"""E5 benchmark — §5: remote production mounts at ANL."""
+
+from repro.experiments.e5_anl_remote import run_e5_anl
+from repro.util.units import GB, MB
+
+
+def test_e5_anl_remote(run_experiment):
+    result = run_experiment(run_e5_anl, anl_nodes=32, per_node_bytes=MB(192))
+    # paper: "approximately 1.2 GB/s to all 32 nodes"
+    assert GB(0.8) < result.metric("aggregate_rate") < GB(2.0)
+    # per-node rates are WAN-pipelining-limited, far below the GbE NICs
+    assert result.metric("per_node_rate") < MB(80)
+    # the WAN RTT is what it should be for the SDSC->ANL TeraGrid path
+    assert 0.04 < result.metric("rtt") < 0.08

@@ -1,0 +1,15 @@
+"""E6 benchmark — §7: DEISA four-site MC-GPFS rates."""
+
+from repro.experiments.e6_deisa import run_e6_deisa
+from repro.util.units import MB
+
+
+def test_e6_deisa(run_experiment):
+    result = run_experiment(run_e6_deisa, per_pair_bytes=MB(150))
+    # paper: "I/O rates of more than 100 Mbytes/s, thus hitting the
+    # theoretical limit of the network connection" — on EVERY pair
+    assert result.metric("min_read") > MB(100)
+    # nothing exceeds the 1 Gb/s WAN ceiling
+    assert result.metric("max_read") <= result.metric("wan_ceiling") * 1.01
+    # writes exploit the link too (write-behind over the WAN)
+    assert result.metric("min_write") > MB(75)

@@ -1,0 +1,27 @@
+"""E7 benchmark — §1: GridFTP staging vs direct GFS access."""
+
+from repro.experiments.e7_staging_vs_gfs import run_e7
+from repro.util.units import GB
+
+
+def test_e7_staging_vs_gfs(run_experiment):
+    fractions = (0.02, 0.5, 1.0)
+    result = run_experiment(
+        run_e7,
+        dataset_bytes=GB(6),
+        output_bytes=GB(0.2),
+        compute_seconds=60.0,
+        fractions=fractions,
+    )
+    # staging always moves the whole dataset; GFS moves only what's touched
+    # (plus the job output, which both modes move)
+    assert result.metric("staged_moved_0.02") > 10 * result.metric("gfs_moved_0.02")
+    # time-to-science: compute starts immediately on the GFS, after the
+    # full stage-in with staging
+    assert result.metric("staged_ttfb_0.02") > 10 * result.metric("gfs_ttfb_0.02")
+    # database-style access: GFS data-handling overhead wins at small
+    # fractions, staging wins for full-dataset reuse (the crossover)
+    assert result.metric("gfs_overhead_0.02") < result.metric("staged_overhead_0.02")
+    assert result.metric("staged_overhead_1.0") < result.metric("gfs_overhead_1.0")
+    # §1's exclusion effect: staged jobs see fewer eligible sites
+    assert result.metric("staged_eligible_sites") < result.metric("gfs_eligible_sites")

@@ -1,0 +1,17 @@
+"""E8 benchmark — latency ablation: the paper's central mechanism."""
+
+from repro.experiments.e8_latency import run_e8
+from repro.util.units import Gbps
+
+
+def test_e8_latency(run_experiment):
+    result = run_experiment(run_e8)
+    # a single 2 MiB-window stream collapses at 80 ms (window/RTT ~ 26 MB/s)
+    assert result.metric("rate_rtt80_s1") < Gbps(0.3)
+    # 64 parallel streams recover ~line rate at the same RTT (the NSD effect)
+    assert result.metric("rate_rtt80_s64") > Gbps(9)
+    assert result.metric("parallelism_gain_at_80ms") > 20
+    # monotone in streams at every RTT
+    for rtt in (2, 20, 80, 160):
+        rates = [result.metric(f"rate_rtt{rtt}_s{s}") for s in (1, 4, 16, 64)]
+        assert rates == sorted(rates)

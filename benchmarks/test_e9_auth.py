@@ -1,0 +1,19 @@
+"""E9 benchmark — §6: multi-cluster auth costs and semantics."""
+
+from repro.experiments.e9_auth import run_e9
+from repro.util.units import MB
+
+
+def test_e9_auth(run_experiment):
+    result = run_experiment(run_e9, read_bytes=MB(96))
+    # the RSA handshake costs extra WAN round trips over rsh-trust
+    assert result.metric("mount_time_AUTHONLY") > result.metric("mount_time_EMPTY")
+    # AUTHONLY costs nothing on the data path
+    rate_plain = result.metric("read_rate_AUTHONLY")
+    assert abs(rate_plain - result.metric("read_rate_EMPTY")) < 0.05 * rate_plain
+    # encryption taxes throughput, in cipher-strength order
+    assert result.metric("read_rate_AES128") < 0.8 * rate_plain
+    assert result.metric("read_rate_AES256") < result.metric("read_rate_AES128")
+    assert result.metric("read_rate_3DES") < result.metric("read_rate_AES256")
+    # ro/rw grant enforcement
+    assert result.metric("rw_on_ro_refused") == 1.0

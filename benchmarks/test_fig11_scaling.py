@@ -1,0 +1,21 @@
+"""E4 benchmark — Fig 11: production GFS scaling with node count."""
+
+from repro.experiments.fig11_scaling import run_fig11
+from repro.util.units import GB, MiB
+
+
+def test_fig11_scaling(run_experiment):
+    result = run_experiment(
+        run_fig11,
+        node_counts=(1, 8, 32, 64),
+        region_bytes=MiB(64),
+        transfer_bytes=MiB(1),
+    )
+    # paper shape: reads scale up and plateau near (but below) the network
+    # ceiling; writes plateau much lower; read >> write at scale
+    assert result.metric("max_read") > GB(2.5)
+    assert result.metric("max_read") < GB(8)  # 8 GB/s theoretical ceiling
+    assert result.metric("max_write") < result.metric("max_read")
+    assert result.metric("rw_gap_at_max") > 1.4  # the "not yet understood" gap
+    # near-linear scaling at the low end (1 -> 4x nodes ≳ 3x rate)
+    assert result.metric("read_scaling_4x") > 3.0

@@ -1,0 +1,15 @@
+"""E1 benchmark — Fig 2: SC'02 FCIP read performance."""
+
+from repro.experiments.fig2_sc02 import run_fig2
+from repro.util.units import GB, MB
+
+
+def test_fig2_sc02(run_experiment):
+    result = run_experiment(run_fig2, total_bytes=GB(20))
+    # paper: >720 MB/s of a 8 Gb/s (=1000 MB/s raw, 900 usable) ceiling
+    assert MB(650) < result.metric("mean_rate") <= result.metric("ceiling")
+    assert result.metric("mean_rate") > 0.7 * result.metric("ceiling")
+    # "the very sustainable character of the peak transfer rate": flat trace
+    assert result.metric("sustained_fraction") > 0.9
+    # latency did not prevent performance: 80 ms RTT is in the model
+    assert result.metric("peak_rate") < GB(1)  # physically sane

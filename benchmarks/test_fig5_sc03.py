@@ -1,0 +1,21 @@
+"""E2 benchmark — Fig 5: SC'03 native WAN-GPFS over one 10 GbE."""
+
+from repro.experiments.fig5_sc03 import run_fig5
+from repro.util.units import GB, Gbps
+
+
+def test_fig5_sc03(run_experiment):
+    result = run_experiment(
+        run_fig5,
+        nsd_servers=40,
+        sdsc_viz_nodes=16,
+        ncsa_viz_nodes=4,
+        per_node_bytes=GB(1.0),
+    )
+    # paper: peak almost 9 Gb/s of the 10 GbE
+    assert Gbps(8) < result.metric("peak_rate") <= Gbps(10)
+    # "over 1 GB/s was easily sustained"
+    assert result.metric("median_rate") > 1e9
+    # the dip: rate during the app restart collapses, then recovers
+    assert result.metric("dip_rate") < 0.75 * result.metric("peak_rate")
+    assert result.metric("recovery_rate") > 0.6 * result.metric("peak_rate")

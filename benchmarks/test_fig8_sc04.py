@@ -1,0 +1,22 @@
+"""E3 benchmark — Fig 8: SC'04 three-lane SCinet transfer rates."""
+
+from repro.experiments.fig8_sc04 import run_fig8
+from repro.util.units import Gbps, MB
+
+
+def test_fig8_sc04(run_experiment):
+    result = run_experiment(
+        run_fig8,
+        nsd_servers=40,
+        clients_per_site=24,
+        per_client_phase_bytes=MB(160),
+        phases=2,
+    )
+    # paper: each 10 GbE between 7 and 9 Gb/s
+    assert result.metric("lane_min_mean") > Gbps(6)
+    assert result.metric("lane_max_mean") < Gbps(9.5)
+    # aggregate ~24 Gb/s, stable
+    assert Gbps(20) < result.metric("aggregate_mean") < Gbps(28.5)
+    # reads and writes "remarkably constant" (alternating phases comparable)
+    read, write = result.metric("read_mean"), result.metric("write_mean")
+    assert 0.6 < read / write < 1.67

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Enzo on the TeraGrid: the paper's SC'04 mode of operation.
+
+"the output of a very large dataset to a central GFS repository, followed
+by its examination and visualization at several sites, some of which may
+not have the resources to ingest the dataset whole" (§4).
+
+The script drives the SC'04 scenario end-to-end:
+
+1. Enzo runs on DataStar at SDSC, writing checkpoint dumps *directly* to
+   the StorCloud filesystem on the Pittsburgh show floor over the WAN;
+2. visualization nodes at NCSA stream the dumps back concurrently;
+3. the SCinet-style per-lane monitors report what each 10 GbE carried.
+
+Run:  python examples/enzo_teragrid.py          (a few minutes of sim work)
+"""
+
+from repro.topology.sc04 import build_sc04
+from repro.util.units import GB, MiB, fmt_bits_rate, fmt_rate, fmt_time
+from repro.workloads.enzo import EnzoRun
+from repro.workloads.viz import VizReader
+
+
+def main():
+    scenario = build_sc04(
+        nsd_servers=24,
+        sdsc_clients=8,
+        ncsa_clients=8,
+        with_disks=False,
+        store_data=False,
+    )
+    g = scenario.gfs
+    print(f"floor filesystem: {scenario.fs.capacity / 1e12:.1f} TB over "
+          f"{len(scenario.fs.nsds)} NSDs, 3 SCinet lanes")
+
+    # --- Enzo writes from SDSC -------------------------------------------------
+    enzo = EnzoRun(
+        scenario.sdsc_mounts,
+        "/enzo-run42",
+        steps=2,
+        bytes_per_dump=GB(4),
+        compute_seconds=30.0,
+    )
+    t0 = g.sim.now
+    result = g.run(until=enzo.run())
+    print(
+        f"Enzo: {result.extra['dumps']:.0f} dumps, "
+        f"{result.bytes_written / 1e9:.0f} GB written to the floor in "
+        f"{fmt_time(result.elapsed)} "
+        f"({fmt_rate(result.bytes_written / result.elapsed)} incl. compute)"
+    )
+
+    # --- visualization at NCSA ---------------------------------------------------
+    files = sorted(
+        f"/enzo-run42/{name}"
+        for name in scenario.fs.namespace.listdir("/enzo-run42")
+        if name.startswith("dump0001")
+    )
+    readers = [
+        VizReader(mount, files[i % len(files)], chunk=MiB(2)).run()
+        for i, mount in enumerate(scenario.ncsa_mounts)
+    ]
+    t0 = g.sim.now
+    g.run(until=g.sim.all_of(readers))
+    viz_bytes = sum(p.value.bytes_read for p in readers)
+    print(
+        f"NCSA visualization: {viz_bytes / 1e9:.1f} GB streamed in "
+        f"{fmt_time(g.sim.now - t0)} ({fmt_rate(viz_bytes / (g.sim.now - t0))})"
+    )
+
+    # --- the SCinet lane monitors ---------------------------------------------------
+    for tag in scenario.lane_tags():
+        series = g.engine.tag_rate_series(tag)
+        if series.empty:
+            continue
+        busy = [v for v in series.values if v > 0]
+        mean = sum(busy) / len(busy) if busy else 0.0
+        print(f"  {tag}: mean {fmt_bits_rate(mean)}, peak {fmt_bits_rate(series.max())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""HSM lifecycle: the §8 'copyright library' in action.
+
+A dataset ages on the production GFS; the water-mark policy migrates cold
+files to the tape silo; a user touches an offline file and waits out the
+robot; and the archive is mirrored to a partner site (the SDSC↔PSC
+second-copy arrangement), from which a 'local catastrophe' is repaired.
+
+Run:  python examples/hsm_lifecycle.py
+"""
+
+from repro.core.cluster import Gfs, NsdSpec
+from repro.hsm.manager import HsmManager, MigrationPolicy
+from repro.hsm.replicate import ArchiveReplicator
+from repro.hsm.tape import LTO2, TapeLibrary
+from repro.util.units import Gbps, MB, MiB, fmt_bytes, fmt_time
+
+
+def main():
+    g = Gfs(seed=13)
+    net = g.network
+    net.add_node("sdsc-sw", kind="switch")
+    net.add_node("psc-sw", kind="switch")
+    net.add_link("sdsc-sw", "psc-sw", Gbps(10), delay=0.028)
+    for i in range(4):
+        net.add_host(f"s{i}", "sdsc-sw", Gbps(1), site="sdsc")
+    net.add_host("mover", "sdsc-sw", Gbps(10), site="sdsc")
+    net.add_host("psc", "psc-sw", Gbps(10), site="psc")
+    sdsc = g.add_cluster("sdsc", site="sdsc")
+    sdsc.add_nodes([f"s{i}" for i in range(4)] + ["mover"])
+    fs = sdsc.mmcrfs(
+        "gpfs", [NsdSpec(server=f"s{i}", blocks=256) for i in range(4)],
+        block_size=MiB(1), store_data=False,
+    )
+    mover = g.run(until=sdsc.mmmount("gpfs", "mover"))
+    silo = TapeLibrary(g.sim, spec=LTO2, drives=2, cartridges=50, name="sdsc-silo")
+    hsm = HsmManager(
+        mover, silo,
+        MigrationPolicy(min_age=7 * 86400.0, high_water=0.60, low_water=0.35),
+    )
+
+    # a year of simulation output accumulates
+    def accumulate():
+        for month in range(12):
+            handle = yield mover.open(f"/runs/month{month:02d}.dat", "w", create=True)
+            yield mover.write(handle, int(MB(60)))
+            yield mover.close(handle)
+
+    def top():
+        yield mover.mkdir("/runs")
+        yield g.sim.process(accumulate(), name="accumulate")
+
+    g.run(until=g.sim.process(top(), name="top"))
+    # age the files (oldest month least recently read)
+    for month in range(12):
+        fs.namespace.resolve(f"/runs/month{month:02d}.dat").atime = (
+            g.sim.now - (12 - month) * 30 * 86400.0
+        )
+    print(f"disk occupancy: {hsm.resident_fraction():.0%} "
+          f"(policy trips above 60%)")
+
+    migrated = g.run(until=hsm.run_policy())
+    print(f"policy migrated {len(migrated)} cold files to tape -> "
+          f"occupancy {hsm.resident_fraction():.0%}; "
+          f"silo holds {fmt_bytes(silo.used)}")
+
+    # a user touches an offline file: transparent recall
+    victim = migrated[0]
+    t0 = g.sim.now
+    g.run(until=hsm.ensure_online(victim))
+    print(f"recall of {victim}: {fmt_time(g.sim.now - t0)} "
+          "(robot + seek + stream)")
+
+    # mirror the archive to PSC
+    psc_silo = TapeLibrary(g.sim, spec=LTO2, drives=2, cartridges=50, name="psc-silo")
+    mirror = ArchiveReplicator(g.sim, g.engine, silo, psc_silo, "mover", "psc")
+    count = g.run(until=mirror.replicate_all())
+    print(f"replicated {count} segments to PSC ({fmt_bytes(mirror.replicated_bytes)})")
+
+    # local catastrophe: restore a segment from the partner copy
+    lost = [t for t in list(silo._catalog) if psc_silo.has(t)][0]
+    t0 = g.sim.now
+    g.run(until=mirror.restore(lost))
+    print(f"disaster restore from PSC: {fmt_time(g.sim.now - t0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""NVO: why a central GFS beats shipping 50 TB to every site (§1, §5).
+
+"At 50 Terabytes per location, this was a noticeable strain on storage
+resources and if a single, central, site could maintain the dataset this
+would be extremely helpful to all the sites who could access it in an
+efficient manner."
+
+The script hosts a (scaled) NVO catalog on the SDSC production GFS, runs
+database-style cutout queries from ANL and NCSA over the TeraGrid, and
+compares the bytes that actually moved against replicating the catalog.
+
+Run:  python examples/nvo_partial_access.py
+"""
+
+import numpy as np
+
+from repro.topology.sdsc2005 import build_sdsc2005
+from repro.util.units import GB, KiB, MiB, fmt_bytes, fmt_time
+from repro.workloads.nvo import NvoQueryStream
+
+
+CATALOG_BYTES = GB(4)  # stands in for the 50 TB catalog (same code path)
+QUERIES_PER_SITE = 150
+CUTOUT_BYTES = int(KiB(512))
+
+
+def main():
+    scenario = build_sdsc2005(
+        nsd_servers=32,
+        ds4100_count=16,
+        sdsc_clients=1,
+        anl_clients=2,
+        ncsa_clients=2,
+        store_data=False,
+    )
+    g = scenario.gfs
+    print(f"production GFS: {scenario.fs.capacity / 1e12:.0f} TB usable, "
+          f"{len(scenario.fs.nsds)} NSDs")
+
+    # curate the catalog once, at the central site
+    curator = scenario.mount_clients("sdsc", 1, pagepool_bytes=MiB(512))[0]
+
+    def curate():
+        handle = yield curator.open("/nvo/catalog.fits", "w", create=True)
+        yield curator.write(handle, int(CATALOG_BYTES))
+        yield curator.close(handle)
+
+    def top():
+        yield curator.mkdir("/nvo")
+        yield g.sim.process(curate(), name="curate")
+
+    g.run(until=g.sim.process(top(), name="top"))
+    print(f"catalog curated: {fmt_bytes(CATALOG_BYTES)} at SDSC (single copy)")
+
+    # remote sites query it directly — no replication
+    total_moved = 0.0
+    for site in ("anl", "ncsa"):
+        mounts = scenario.mount_clients(site, 2, readahead=0)  # random access
+        rng = np.random.default_rng(hash(site) % 2**32)
+        t0 = g.sim.now
+        streams = [
+            NvoQueryStream(
+                mount,
+                "/nvo/catalog.fits",
+                queries=QUERIES_PER_SITE // len(mounts),
+                bytes_per_query=CUTOUT_BYTES,
+                rng=rng,
+                zipf_regions=32,
+            ).run()
+            for mount in mounts
+        ]
+        g.run(until=g.sim.all_of(streams))
+        moved = sum(p.value.bytes_read for p in streams)
+        queries = sum(p.value.ops for p in streams)
+        total_moved += moved
+        print(
+            f"{site}: {queries} cutout queries, {fmt_bytes(moved)} moved, "
+            f"{fmt_time((g.sim.now - t0) / queries)} per query"
+        )
+
+    replication_cost = 2 * CATALOG_BYTES  # one copy per remote site
+    print(
+        f"\nbytes moved via GFS: {fmt_bytes(total_moved)} "
+        f"vs replicating to both sites: {fmt_bytes(replication_cost)} "
+        f"({replication_cost / total_moved:.0f}x more, plus the disk to hold it)"
+    )
+
+
+if __name__ == "__main__":
+    main()

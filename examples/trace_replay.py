@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Replay a recorded application I/O trace against the Global File System.
+
+Proprietary applications can't ship with a reproduction, but their I/O
+*shape* can: record (time, op, path, offset, length) and replay it here.
+The trace below is a plausible restart-checkpoint-analyze cycle; swap in
+your own file via ``TraceReplay(mount, open("app.trace"))``.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.core.cluster import Gfs, NsdSpec
+from repro.util.units import Gbps, MiB, fmt_rate, fmt_time
+from repro.workloads.replay import TraceReplay
+
+TRACE = """
+# time  op      path              offset    length
+0.0     mkdir   /run7             -         -
+0.0     open    /run7/restart.in  -         -
+0.0     write   /run7/restart.in  0         16777216
+0.2     close   /run7/restart.in  -         -
+# the app starts: reads its restart file
+1.0     open    /run7/restart.in  -         -
+1.0     read    /run7/restart.in  0         16777216
+1.5     close   /run7/restart.in  -         -
+# compute ... first checkpoint
+30.0    open    /run7/ckpt00      -         -
+30.0    write   /run7/ckpt00      0         33554432
+31.0    fsync   /run7/ckpt00      -         -
+31.0    close   /run7/ckpt00      -         -
+# compute ... second checkpoint overwrites a region of the first's size
+60.0    open    /run7/ckpt01      -         -
+60.0    write   /run7/ckpt01      0         33554432
+61.0    fsync   /run7/ckpt01      -         -
+61.0    close   /run7/ckpt01      -         -
+# analysis samples a few slices
+62.0    open    /run7/ckpt01      -         -
+62.0    read    /run7/ckpt01      1048576   262144
+62.1    read    /run7/ckpt01      16777216  262144
+62.2    read    /run7/ckpt01      25165824  262144
+62.5    close   /run7/ckpt01      -         -
+# the first checkpoint is obsolete
+63.0    unlink  /run7/ckpt00      -         -
+"""
+
+
+def main():
+    gfs = Gfs(seed=1)
+    net = gfs.network
+    net.add_node("sw", kind="switch")
+    for i in range(8):
+        net.add_host(f"nsd{i}", "sw", Gbps(1))
+    net.add_host("app", "sw", Gbps(1))
+    cluster = gfs.add_cluster("site")
+    cluster.add_nodes([f"nsd{i}" for i in range(8)] + ["app"])
+    cluster.mmcrfs(
+        "gpfs0",
+        [NsdSpec(server=f"nsd{i}", blocks=2048) for i in range(8)],
+        block_size=MiB(1),
+    )
+    mount = gfs.run(until=cluster.mmmount("gpfs0", "app"))
+
+    replay = TraceReplay(mount, TRACE)
+    result = gfs.run(until=replay.run())
+    print(f"replayed {result.ops} operations in {fmt_time(result.elapsed)} (sim time)")
+    print(f"  wrote {result.bytes_written / 1e6:.0f} MB, "
+          f"read {result.bytes_read / 1e6:.1f} MB")
+    print(f"  aggregate when active: {fmt_rate(result.bytes_total / result.elapsed)}"
+          " (trace pacing included)")
+    print(cluster.mmlsfs("gpfs0"))
+
+
+if __name__ == "__main__":
+    main()

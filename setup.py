@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; when that is
+unavailable, `python setup.py develop` installs the same editable package.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro report [--quick] [--only E1 A3] [--out FILE]
+    python -m repro info
+
+``report`` regenerates the paper's figures (see EXPERIMENTS.md);
+``info`` prints the system inventory and experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _info() -> str:
+    import repro
+    from repro.experiments.report import _registry
+
+    lines = [
+        f"repro {repro.__version__} — reproduction of "
+        "'Massive High-Performance Global File Systems for Grid computing' (SC'05)",
+        "",
+        "experiments:",
+    ]
+    for exp_id, (label, _) in _registry(False).items():
+        lines.append(f"  {exp_id:>4}  {label}")
+    lines += [
+        "",
+        "run one:     python -m repro report --quick --only E1",
+        "run all:     python -m repro report --quick",
+        "unit tests:  pytest tests/",
+        "benchmarks:  pytest benchmarks/ --benchmark-only",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="print the system inventory")
+    report = sub.add_parser("report", help="regenerate the paper's figures")
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--only", nargs="*", metavar="ID")
+    report.add_argument("--out", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    if args.command == "info" or args.command is None:
+        print(_info())
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import main as report_main
+
+        forwarded = []
+        if args.quick:
+            forwarded.append("--quick")
+        if args.only:
+            forwarded += ["--only", *args.only]
+        if args.out:
+            forwarded += ["--out", args.out]
+        return report_main(forwarded)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

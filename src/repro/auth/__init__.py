@@ -1,0 +1,34 @@
+"""Authentication: RSA keypairs, cipher policy, GSI identities, UID domains.
+
+Implements §6 of the paper:
+
+* :mod:`repro.auth.rsa` — RSA from scratch (Miller–Rabin key generation,
+  sign/verify, encrypt/decrypt) as used by GPFS 2.3 GA multi-clustering.
+* :mod:`repro.auth.keys` — keypair registry / out-of-band exchange model.
+* :mod:`repro.auth.cipher` — the ``cipherList`` option: AUTHONLY vs
+  encrypting ciphers (with their 2005-era throughput tax).
+* :mod:`repro.auth.gsi` — GSI certificates, CAs, proxies, DN identities
+  (the SDSC extension for cross-site ownership).
+* :mod:`repro.auth.uid` — per-site UID/GID domains and grid-mapfiles.
+"""
+
+from repro.auth.rsa import RsaKeyPair, generate_keypair, is_probable_prime
+from repro.auth.keys import KeyStore, fingerprint
+from repro.auth.cipher import CipherPolicy, CIPHERS
+from repro.auth.gsi import Certificate, CertificateAuthority, ProxyCertificate
+from repro.auth.uid import GridMapFile, UidDomain
+
+__all__ = [
+    "RsaKeyPair",
+    "generate_keypair",
+    "is_probable_prime",
+    "KeyStore",
+    "fingerprint",
+    "CipherPolicy",
+    "CIPHERS",
+    "Certificate",
+    "CertificateAuthority",
+    "ProxyCertificate",
+    "GridMapFile",
+    "UidDomain",
+]

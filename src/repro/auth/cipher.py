@@ -1,0 +1,71 @@
+"""The ``cipherList`` configuration option (GPFS 2.3 GA, §6.2).
+
+Three regimes:
+
+* ``EMPTY``   — pre-GA behaviour: no RSA handshake required (the rsh-trust
+  world the paper calls "problematic from a security standpoint").
+* ``AUTHONLY`` — RSA mutual authentication at mount time; data in the clear.
+* a cipher name — authentication plus encryption of all filesystem traffic.
+
+Encryption was not free on 2005 CPUs: each cipher carries a throughput
+factor applied to that cluster-pair's data flows (used by the E9 bench to
+show the tax).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.units import MB
+
+
+@dataclass(frozen=True)
+class CipherPolicy:
+    """One cipherList setting.
+
+    ``crypto_rate`` is the absolute per-connection throughput ceiling
+    software crypto imposes (bytes/s on a ~1.5 GHz 2005 IA64);
+    ``throughput_factor`` is the same tax expressed relative to GbE payload
+    rate, kept for ablation sweeps.
+    """
+
+    name: str
+    requires_auth: bool
+    encrypts: bool
+    throughput_factor: float  # multiplier on data-path throughput
+    crypto_rate: Optional[float] = None  # per-connection cap, bytes/s
+
+    def __post_init__(self) -> None:
+        if not 0 < self.throughput_factor <= 1:
+            raise ValueError("throughput_factor must be in (0, 1]")
+        if self.encrypts and not self.requires_auth:
+            raise ValueError("an encrypting cipher implies authentication")
+        if self.encrypts and (self.crypto_rate is None or self.crypto_rate <= 0):
+            raise ValueError("an encrypting cipher needs a positive crypto_rate")
+        if not self.encrypts and self.crypto_rate is not None:
+            raise ValueError("crypto_rate only applies to encrypting ciphers")
+
+
+#: Registry of supported cipherList values.
+CIPHERS = {
+    "EMPTY": CipherPolicy("EMPTY", requires_auth=False, encrypts=False, throughput_factor=1.0),
+    "AUTHONLY": CipherPolicy("AUTHONLY", requires_auth=True, encrypts=False, throughput_factor=1.0),
+    # Software crypto rates on ~1.5 GHz IA64:
+    "AES128": CipherPolicy("AES128", requires_auth=True, encrypts=True,
+                           throughput_factor=0.55, crypto_rate=MB(64)),
+    "AES256": CipherPolicy("AES256", requires_auth=True, encrypts=True,
+                           throughput_factor=0.45, crypto_rate=MB(52)),
+    "3DES": CipherPolicy("3DES", requires_auth=True, encrypts=True,
+                         throughput_factor=0.20, crypto_rate=MB(23)),
+}
+
+
+def cipher(name: str) -> CipherPolicy:
+    """Look up a cipherList value (KeyError with the valid set otherwise)."""
+    try:
+        return CIPHERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cipherList {name!r}; valid: {sorted(CIPHERS)}"
+        ) from None

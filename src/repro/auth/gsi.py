@@ -1,0 +1,146 @@
+"""GSI-style identities: CAs, user certificates, proxy certificates.
+
+The paper's §6 motivation: a TeraGrid user has *different* UIDs at SDSC,
+NCSA, ANL — but one GSI certificate. SDSC's extension lets GFS ownership
+follow the certificate's Distinguished Name rather than any site-local UID.
+
+The chain model is the standard one: a :class:`CertificateAuthority` signs
+user :class:`Certificate`\\ s; users derive short-lived
+:class:`ProxyCertificate`\\ s signed by their own key (as ``grid-proxy-init``
+does); verification walks proxy → user cert → trusted CA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.auth.rsa import RsaKeyPair, RsaPublicKey
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An identity certificate."""
+
+    subject: str  # distinguished name, e.g. "/C=US/O=TeraGrid/CN=alice"
+    issuer: str
+    public_key: RsaPublicKey
+    not_before: float
+    not_after: float
+    signature: int  # issuer's signature over tbs_bytes()
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed encoding."""
+        return (
+            f"{self.subject}|{self.issuer}|{self.public_key.n:x}|"
+            f"{self.public_key.e:x}|{self.not_before}|{self.not_after}"
+        ).encode()
+
+    def valid_at(self, t: float) -> bool:
+        return self.not_before <= t <= self.not_after
+
+
+@dataclass(frozen=True)
+class ProxyCertificate:
+    """A short-lived proxy derived from a user certificate."""
+
+    certificate: Certificate  # the proxy cert itself (issuer == user DN)
+    issuer_cert: Certificate  # the user's long-lived certificate
+
+    @property
+    def subject(self) -> str:
+        return self.certificate.subject
+
+    @property
+    def identity(self) -> str:
+        """The effective identity: the user DN, not the proxy DN."""
+        return self.issuer_cert.subject
+
+
+class CertificateAuthority:
+    """A CA that issues user certificates."""
+
+    def __init__(self, name: str, keypair: RsaKeyPair) -> None:
+        self.name = name
+        self.keypair = keypair
+        self.issued: list[str] = []
+        self._revoked: set[str] = set()
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self.keypair.public
+
+    def issue(
+        self,
+        subject: str,
+        subject_key: RsaPublicKey,
+        not_before: float = 0.0,
+        lifetime: float = 365 * 86400.0,
+    ) -> Certificate:
+        cert = Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=subject_key,
+            not_before=not_before,
+            not_after=not_before + lifetime,
+            signature=0,
+        )
+        signed = Certificate(
+            **{**cert.__dict__, "signature": self.keypair.sign(cert.tbs_bytes())}
+        )
+        self.issued.append(subject)
+        return signed
+
+    def revoke(self, subject: str) -> None:
+        self._revoked.add(subject)
+
+    def is_revoked(self, subject: str) -> bool:
+        return subject in self._revoked
+
+    def verify(self, cert: Certificate, at_time: float) -> bool:
+        """Verify a certificate this CA issued."""
+        if cert.issuer != self.name:
+            return False
+        if self.is_revoked(cert.subject):
+            return False
+        if not cert.valid_at(at_time):
+            return False
+        unsigned = Certificate(**{**cert.__dict__, "signature": 0})
+        return self.public_key.verify(unsigned.tbs_bytes(), cert.signature)
+
+
+def make_proxy(
+    user_cert: Certificate,
+    user_key: RsaKeyPair,
+    proxy_key: RsaPublicKey,
+    not_before: float,
+    lifetime: float = 12 * 3600.0,
+) -> ProxyCertificate:
+    """Derive a proxy certificate signed by the *user's* key."""
+    tbs = Certificate(
+        subject=user_cert.subject + "/CN=proxy",
+        issuer=user_cert.subject,
+        public_key=proxy_key,
+        not_before=not_before,
+        not_after=not_before + lifetime,
+        signature=0,
+    )
+    signed = Certificate(
+        **{**tbs.__dict__, "signature": user_key.sign(tbs.tbs_bytes())}
+    )
+    return ProxyCertificate(certificate=signed, issuer_cert=user_cert)
+
+
+def verify_proxy(
+    proxy: ProxyCertificate, ca: CertificateAuthority, at_time: float
+) -> bool:
+    """Walk proxy → user certificate → CA."""
+    cert = proxy.certificate
+    if cert.issuer != proxy.issuer_cert.subject:
+        return False
+    if not cert.valid_at(at_time):
+        return False
+    unsigned = Certificate(**{**cert.__dict__, "signature": 0})
+    if not proxy.issuer_cert.public_key.verify(unsigned.tbs_bytes(), cert.signature):
+        return False
+    return ca.verify(proxy.issuer_cert, at_time)

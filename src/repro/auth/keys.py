@@ -1,0 +1,66 @@
+"""Keypair registry and out-of-band key exchange.
+
+`mmauth genkey` creates a cluster keypair; administrators exchange *public*
+keys out-of-band ("such as e-mail", §6.2) before any network trust exists.
+:class:`KeyStore` is one cluster's view: its own keypair plus the public
+keys it has imported, by cluster name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from repro.auth.rsa import RsaKeyPair, RsaPublicKey
+
+
+def fingerprint(key: RsaPublicKey) -> str:
+    """Short hex fingerprint of a public key (for admin display)."""
+    blob = f"{key.n:x}:{key.e:x}".encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class KeyStore:
+    """One cluster's key material."""
+
+    def __init__(self, cluster_name: str) -> None:
+        self.cluster_name = cluster_name
+        self._own: Optional[RsaKeyPair] = None
+        self._imported: Dict[str, RsaPublicKey] = {}
+
+    # -- own keypair ------------------------------------------------------------
+
+    def set_own(self, keypair: RsaKeyPair) -> None:
+        self._own = keypair
+
+    @property
+    def own(self) -> RsaKeyPair:
+        if self._own is None:
+            raise KeyError(
+                f"cluster {self.cluster_name!r} has no keypair; run mmauth genkey"
+            )
+        return self._own
+
+    @property
+    def has_own(self) -> bool:
+        return self._own is not None
+
+    # -- imported public keys -----------------------------------------------------
+
+    def import_public(self, cluster: str, key: RsaPublicKey) -> None:
+        """Install another cluster's public key (out-of-band exchange)."""
+        self._imported[cluster] = key
+
+    def public_of(self, cluster: str) -> RsaPublicKey:
+        try:
+            return self._imported[cluster]
+        except KeyError:
+            raise KeyError(
+                f"cluster {self.cluster_name!r} has no public key for {cluster!r}"
+            ) from None
+
+    def knows(self, cluster: str) -> bool:
+        return cluster in self._imported
+
+    def revoke(self, cluster: str) -> None:
+        self._imported.pop(cluster, None)

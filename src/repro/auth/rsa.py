@@ -1,0 +1,153 @@
+"""Textbook RSA, implemented from scratch.
+
+GPFS 2.3 GA replaced passwordless root rsh with per-cluster RSA keypairs
+(`mmauth genkey`); this module provides the cryptographic substrate for the
+reproduction's multi-cluster handshake. It is deliberately *textbook* RSA
+(deterministic padding via hashing) — the reproduction needs protocol
+semantics, not production cryptography, and says so here once: do not reuse
+outside the simulator.
+
+Implementation notes:
+
+* Miller–Rabin primality with fixed witness rounds on a seeded RNG stream —
+  key generation is deterministic per (seed, bits).
+* Signatures sign SHA-256 of the message: ``sig = H(m)^d mod n``.
+* Encryption is raw ``m^e mod n`` of an integer < n (used only for the
+  session-key exchange in the mount handshake).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+]
+
+
+def is_probable_prime(n: int, rng: np.random.Generator, rounds: int = 24) -> bool:
+    """Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + int(rng.integers(0, min(n - 3, 2**62)))
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: np.random.Generator) -> int:
+    """A random prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("bits must be >= 8")
+    while True:
+        words = [int(rng.integers(0, 2**32)) for _ in range((bits + 31) // 32)]
+        n = 0
+        for w in words:
+            n = (n << 32) | w
+        n &= (1 << bits) - 1
+        n |= (1 << (bits - 1)) | 1  # exact bit length, odd
+        if is_probable_prime(n, rng):
+            return n
+
+
+def _modinv(a: int, m: int) -> int:
+    """Modular inverse via extended Euclid."""
+    g, x = _egcd(a, m)
+    if g != 1:
+        raise ValueError("no modular inverse")
+    return x % m
+
+
+def _egcd(a: int, b: int) -> tuple[int, int]:
+    old_r, r = a, b
+    old_x, x = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+    return old_r, old_x
+
+
+def _digest_int(message: bytes, n: int) -> int:
+    return int.from_bytes(hashlib.sha256(message).digest(), "big") % n
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Check ``signature`` over ``message``."""
+        if not 0 < signature < self.n:
+            return False
+        return pow(signature, self.e, self.n) == _digest_int(message, self.n)
+
+    def encrypt(self, m: int) -> int:
+        if not 0 <= m < self.n:
+            raise ValueError("plaintext integer out of range")
+        return pow(m, self.e, self.n)
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """Private + public halves."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    def sign(self, message: bytes) -> int:
+        return pow(_digest_int(message, self.n), self.d, self.n)
+
+    def decrypt(self, c: int) -> int:
+        if not 0 <= c < self.n:
+            raise ValueError("ciphertext integer out of range")
+        return pow(c, self.d, self.n)
+
+
+def generate_keypair(
+    bits: int = 512, rng: np.random.Generator | None = None, e: int = 65537
+) -> RsaKeyPair:
+    """Generate an RSA keypair with an n of ~``bits`` bits."""
+    if bits < 64:
+        raise ValueError("bits must be >= 64")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        n = p * q
+        d = _modinv(e, phi)
+        return RsaKeyPair(n=n, e=e, d=d)

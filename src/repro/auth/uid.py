@@ -1,0 +1,90 @@
+"""UID/GID domains and grid-mapfiles.
+
+§6 of the paper: "a user will, most likely, have different UIDs at SDSC,
+NCSA, ANL". A :class:`UidDomain` is one site's account database; a
+:class:`GridMapFile` maps GSI DNs to local usernames (the Globus
+grid-mapfile). Together they implement the two ownership models the
+reproduction compares:
+
+* UID ownership (classic GPFS): a file is owned by a number that means
+  different people at different sites.
+* DN ownership (the SDSC extension): ownership follows the certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Account:
+    username: str
+    uid: int
+    gid: int
+
+
+class UidDomain:
+    """One administrative domain's users."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._by_name: Dict[str, Account] = {}
+        self._by_uid: Dict[int, Account] = {}
+
+    def add_user(self, username: str, uid: int, gid: int = 100) -> Account:
+        if username in self._by_name:
+            raise ValueError(f"user {username!r} already exists at {self.site}")
+        if uid in self._by_uid:
+            raise ValueError(f"uid {uid} already taken at {self.site}")
+        acct = Account(username, uid, gid)
+        self._by_name[username] = acct
+        self._by_uid[uid] = acct
+        return acct
+
+    def lookup(self, username: str) -> Account:
+        try:
+            return self._by_name[username]
+        except KeyError:
+            raise KeyError(f"no user {username!r} at {self.site}") from None
+
+    def lookup_uid(self, uid: int) -> Optional[Account]:
+        return self._by_uid.get(uid)
+
+    def __contains__(self, username: str) -> bool:
+        return username in self._by_name
+
+
+class GridMapFile:
+    """DN → local username mapping for one site."""
+
+    def __init__(self, domain: UidDomain) -> None:
+        self.domain = domain
+        self._map: Dict[str, str] = {}
+
+    def add(self, dn: str, username: str) -> None:
+        if username not in self.domain:
+            raise KeyError(
+                f"cannot map {dn!r}: no local user {username!r} at {self.domain.site}"
+            )
+        self._map[dn] = username
+
+    def resolve(self, dn: str) -> Account:
+        """The local account for ``dn`` (KeyError if unmapped)."""
+        try:
+            username = self._map[dn]
+        except KeyError:
+            raise KeyError(
+                f"DN {dn!r} not in grid-mapfile at {self.domain.site}"
+            ) from None
+        return self.domain.lookup(username)
+
+    def dn_of_uid(self, uid: int) -> Optional[str]:
+        """Reverse lookup: which DN maps to this local uid (if any)."""
+        acct = self.domain.lookup_uid(uid)
+        if acct is None:
+            return None
+        for dn, username in self._map.items():
+            if username == acct.username:
+                return dn
+        return None

@@ -1,0 +1,40 @@
+"""The Global File System core: a GPFS-like parallel file system.
+
+Architecture (paper Fig 3): file data is striped in fixed-size blocks
+across Network Shared Disks (NSDs); each NSD is backed by a SAN LUN and
+fronted by an NSD *server* node; *client* nodes reach NSD servers over
+TCP/IP — the "switching fabric" that the paper stretches from a machine
+room interconnect to the TeraGrid WAN.
+
+Layers:
+
+* :mod:`repro.core.blocks`     — stripe geometry (pure math)
+* :mod:`repro.core.allocation` — per-NSD physical block allocator
+* :mod:`repro.core.inode`      — inodes & metadata
+* :mod:`repro.core.namespace`  — directories, path resolution
+* :mod:`repro.core.nsd`        — NSDs, backing stores, the block data plane
+* :mod:`repro.core.tokens`     — distributed byte-range lock tokens
+* :mod:`repro.core.pagepool`   — client cache: write-behind & read-ahead
+* :mod:`repro.core.filesystem` — the Filesystem object (mkfs-level)
+* :mod:`repro.core.client`     — mounted instances and file handles
+* :mod:`repro.core.cluster`    — GPFS clusters, config servers, mm* commands
+* :mod:`repro.core.multicluster` — cross-cluster export/mount with RSA auth
+"""
+
+from repro.core.blocks import StripeGeometry, BlockRange
+from repro.core.filesystem import Filesystem
+from repro.core.cluster import Cluster, Gfs
+from repro.core.client import MountedFs, FileHandle
+from repro.core.nsd import Nsd, NsdServer
+
+__all__ = [
+    "StripeGeometry",
+    "BlockRange",
+    "Filesystem",
+    "Cluster",
+    "Gfs",
+    "MountedFs",
+    "FileHandle",
+    "Nsd",
+    "NsdServer",
+]

@@ -1,0 +1,88 @@
+"""Per-NSD physical block allocation.
+
+Each NSD exposes a pool of physical blocks; the filesystem's allocation map
+hands them out and reclaims them on truncate/unlink. Free space is tracked
+per NSD so ``df``-style accounting and ENOSPC behaviour are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class OutOfSpaceError(OSError):
+    """ENOSPC: the target NSD has no free physical blocks."""
+
+
+class NsdAllocator:
+    """Free-list allocator for one NSD's physical blocks."""
+
+    def __init__(self, nsd_id: int, total_blocks: int) -> None:
+        if total_blocks <= 0:
+            raise ValueError("total_blocks must be positive")
+        self.nsd_id = nsd_id
+        self.total_blocks = total_blocks
+        self._next_fresh = 0  # never-used blocks below this are allocated
+        self._free: List[int] = []  # recycled blocks
+        self.allocated = 0
+
+    def alloc(self) -> int:
+        """Allocate one physical block id."""
+        if self._free:
+            self.allocated += 1
+            return self._free.pop()
+        if self._next_fresh < self.total_blocks:
+            block = self._next_fresh
+            self._next_fresh += 1
+            self.allocated += 1
+            return block
+        raise OutOfSpaceError(f"NSD {self.nsd_id} is full ({self.total_blocks} blocks)")
+
+    def free(self, block: int) -> None:
+        """Return a physical block to the pool."""
+        if not 0 <= block < self._next_fresh:
+            raise ValueError(f"block {block} was never allocated on NSD {self.nsd_id}")
+        self._free.append(block)
+        self.allocated -= 1
+
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - self.allocated
+
+
+class AllocationMap:
+    """All NSD allocators of one filesystem."""
+
+    def __init__(self, blocks_per_nsd: Dict[int, int]) -> None:
+        if not blocks_per_nsd:
+            raise ValueError("need at least one NSD")
+        self._allocators = {
+            nsd_id: NsdAllocator(nsd_id, count) for nsd_id, count in blocks_per_nsd.items()
+        }
+
+    def alloc_on(self, nsd_id: int) -> int:
+        return self._allocator(nsd_id).alloc()
+
+    def free_on(self, nsd_id: int, block: int) -> None:
+        self._allocator(nsd_id).free(block)
+
+    def _allocator(self, nsd_id: int) -> NsdAllocator:
+        try:
+            return self._allocators[nsd_id]
+        except KeyError:
+            raise KeyError(f"unknown NSD id {nsd_id}") from None
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(a.total_blocks for a in self._allocators.values())
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(a.free_blocks for a in self._allocators.values())
+
+    @property
+    def allocated_blocks(self) -> int:
+        return sum(a.allocated for a in self._allocators.values())
+
+    def utilization(self) -> float:
+        return self.allocated_blocks / self.total_blocks

@@ -1,0 +1,77 @@
+"""Stripe geometry: mapping byte ranges to file blocks and NSDs.
+
+GPFS stripes a file's blocks round-robin across the filesystem's disks,
+starting at a per-file rotation offset so that files do not all hammer
+disk 0. All functions here are pure; the data plane builds on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class BlockRange:
+    """The portion of one file block touched by a byte range."""
+
+    block_index: int  # logical block number within the file
+    offset: int  # first byte within the block
+    length: int  # bytes touched within the block
+
+    def __post_init__(self) -> None:
+        if self.block_index < 0 or self.offset < 0 or self.length <= 0:
+            raise ValueError(f"invalid block range {self}")
+
+    @property
+    def is_full_block(self) -> bool:
+        return self.offset == 0  # caller checks length == block_size
+
+
+class StripeGeometry:
+    """Block size + NSD count → placement arithmetic."""
+
+    def __init__(self, block_size: int, num_nsds: int) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if num_nsds <= 0:
+            raise ValueError("num_nsds must be positive")
+        self.block_size = int(block_size)
+        self.num_nsds = int(num_nsds)
+
+    def block_of(self, offset: int) -> int:
+        """Logical block index containing byte ``offset``."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        return offset // self.block_size
+
+    def split(self, offset: int, length: int) -> List[BlockRange]:
+        """Decompose ``[offset, offset+length)`` into per-block pieces."""
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        pieces: List[BlockRange] = []
+        pos = offset
+        end = offset + length
+        while pos < end:
+            block = pos // self.block_size
+            in_block = pos - block * self.block_size
+            take = min(self.block_size - in_block, end - pos)
+            pieces.append(BlockRange(block, in_block, take))
+            pos += take
+        return pieces
+
+    def nsd_for(self, ino: int, block_index: int) -> int:
+        """Round-robin NSD placement with per-file rotation."""
+        if block_index < 0:
+            raise ValueError("block_index must be non-negative")
+        return (ino + block_index) % self.num_nsds
+
+    def blocks_in(self, offset: int, length: int) -> Iterator[int]:
+        """Logical block indices touched by the byte range."""
+        for piece in self.split(offset, length):
+            yield piece.block_index
+
+    def span_bytes(self, piece: BlockRange) -> tuple[int, int]:
+        """Absolute byte range of a piece: (start, end)."""
+        start = piece.block_index * self.block_size + piece.offset
+        return start, start + piece.length

@@ -1,0 +1,596 @@
+"""Mounted filesystem instances and file handles.
+
+A :class:`MountedFs` is what a node gets from ``mmmount``: a POSIX-ish API
+whose every operation is a simulation process (returns an event). The data
+path implements the GPFS client behaviours the paper's throughput depends
+on:
+
+* **striping fan-out** — consecutive blocks live on different NSDs, so one
+  streaming file produces flows to many servers at once;
+* **write-behind** — writes land in the page pool and are flushed by a
+  bounded pool of concurrent flushers (durability via ``fsync``/``close``);
+* **read-ahead** — sequential reads prefetch upcoming blocks;
+* **token caching** — byte-range tokens are acquired once and kept until a
+  conflicting client forces a revoke, which flushes and invalidates the
+  affected cache range (close-to-open coherence across sites).
+
+Identity: each mount carries an :class:`Identity` (numeric uid/gid plus
+optional GSI DN). Files record both; permission checks prefer the DN when
+present (§6's extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.filesystem import Filesystem
+from repro.core.inode import FileType, Inode
+from repro.core.namespace import (
+    FsError,
+    IsADirectory,
+    NoSuchFile,
+    PermissionDenied,
+)
+from repro.core.pagepool import PagePool
+from repro.core.tokens import RO, RW, TokenClient
+from repro.sim.kernel import Event, Simulation
+from repro.sim.resources import Resource
+from repro.util.units import MiB
+
+
+@dataclass(frozen=True)
+class Identity:
+    """Who is doing IO: numeric ids plus optional GSI DN."""
+
+    uid: int
+    gid: int = 100
+    dn: Optional[str] = None
+    username: str = ""
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+
+ROOT = Identity(uid=0, gid=0, username="root")
+
+#: Sentinel end offset for whole-file desired token ranges.
+WHOLE_FILE = 1 << 62
+
+
+class FileHandle:
+    """An open file."""
+
+    def __init__(self, mount: "MountedFs", inode: Inode, path: str, mode: str) -> None:
+        self.mount = mount
+        self.inode = inode
+        self.path = path
+        self.mode = mode
+        self.pos = 0
+        self.open = True
+        self._last_block = -2  # sequentiality detector for read-ahead
+        self._ra_edge = -1  # highest block index already prefetched
+        self._token_run = 0  # current token request span (doubles on misses)
+
+    @property
+    def readable(self) -> bool:
+        return "r" in self.mode or "+" in self.mode
+
+    @property
+    def writable(self) -> bool:
+        return any(c in self.mode for c in "wa+")
+
+    def seek(self, offset: int) -> None:
+        if offset < 0:
+            raise ValueError("cannot seek before start of file")
+        self.pos = offset
+
+
+class MountedFs:
+    """One node's mount of a :class:`Filesystem`."""
+
+    def __init__(
+        self,
+        fs: Filesystem,
+        node: str,
+        identity: Identity = ROOT,
+        access: str = "rw",
+        pagepool_bytes: int = MiB(256),
+        readahead: int = 8,
+        writebehind: int = 8,
+        tags: Tuple[str, ...] = (),
+    ) -> None:
+        if access not in ("ro", "rw"):
+            raise ValueError("access must be 'ro' or 'rw'")
+        if readahead < 0 or writebehind < 1:
+            raise ValueError("readahead must be >=0 and writebehind >=1")
+        self.fs = fs
+        self.sim: Simulation = fs.sim
+        self.node = node
+        self.identity = identity
+        self.access = access
+        self.tags = tags
+        self.pool = PagePool(int(pagepool_bytes), fs.block_size)
+        self.readahead = readahead
+        self.tokens = TokenClient(fs.token_manager, node, self._revoke_flush)
+        self._flush_slots = Resource(self.sim, capacity=writebehind, name=f"{node}-flush")
+        self._flushing: Dict[Tuple[int, int], Event] = {}
+        self._fetching: Dict[Tuple[int, int], Event] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+        fs.mounts.append(self)
+        # Dirty throttle: block writers once half the pool is dirty.
+        self._max_dirty_blocks = max(1, int(pagepool_bytes // fs.block_size // 2))
+
+    # ==================== public API (each returns an event) ====================
+
+    def open(self, path: str, mode: str = "r", create: bool = False) -> Event:
+        """Open ``path``; the event's value is a :class:`FileHandle`."""
+        if not any(c in mode for c in "rwa+"):
+            raise ValueError(f"bad open mode {mode!r}")
+        return self.sim.process(self._open(path, mode, create), name=f"open:{path}")
+
+    def read(self, handle: FileHandle, length: int) -> Event:
+        """Sequential read at the handle position; value is ``bytes``."""
+        evt = self.pread(handle, handle.pos, length)
+
+        def _advance(e: Event) -> None:
+            if e.ok:
+                handle.pos += len(e.value)
+
+        evt.callbacks.append(_advance)
+        return evt
+
+    def pread(self, handle: FileHandle, offset: int, length: int) -> Event:
+        """Positional read; value is ``bytes`` (short at EOF)."""
+        self._check_handle(handle, want_read=True)
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be non-negative")
+        return self.sim.process(self._pread(handle, offset, length), name="pread")
+
+    def write(self, handle: FileHandle, data: "bytes | int") -> Event:
+        """Sequential write at the handle position (write-behind)."""
+        length = data if isinstance(data, int) else len(data)
+        evt = self.pwrite(handle, handle.pos, data)
+
+        def _advance(e: Event) -> None:
+            if e.ok:
+                handle.pos += length
+
+        evt.callbacks.append(_advance)
+        return evt
+
+    def pwrite(self, handle: FileHandle, offset: int, data: "bytes | int") -> Event:
+        """Positional write. ``data`` may be a length in size-only mode.
+
+        Returns when the data is accepted into the page pool (write-behind);
+        durability requires :meth:`fsync` or :meth:`close`.
+        """
+        self._check_handle(handle, want_write=True)
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        if isinstance(data, int):
+            if data < 0:
+                raise ValueError("length must be non-negative")
+            if self.fs.store_data:
+                raise ValueError("size-only writes need a store_data=False filesystem")
+        return self.sim.process(self._pwrite(handle, offset, data), name="pwrite")
+
+    def fsync(self, handle: FileHandle) -> Event:
+        """Flush every dirty block of the file to its NSDs."""
+        self._check_handle(handle)
+        return self.sim.process(self._fsync(handle.inode.ino), name="fsync")
+
+    def close(self, handle: FileHandle) -> Event:
+        """fsync + release the handle."""
+        self._check_handle(handle)
+        return self.sim.process(self._close(handle), name="close")
+
+    # -- metadata ops ------------------------------------------------------------
+
+    def mkdir(self, path: str) -> Event:
+        return self.sim.process(self._meta_mkdir(path), name=f"mkdir:{path}")
+
+    def listdir(self, path: str) -> Event:
+        return self.sim.process(self._meta_listdir(path), name=f"ls:{path}")
+
+    def stat(self, path: str) -> Event:
+        return self.sim.process(self._meta_stat(path), name=f"stat:{path}")
+
+    def unlink(self, path: str) -> Event:
+        return self.sim.process(self._meta_unlink(path), name=f"rm:{path}")
+
+    def rename(self, old: str, new: str) -> Event:
+        return self.sim.process(self._meta_rename(old, new), name="rename")
+
+    def truncate(self, handle: FileHandle, size: int) -> Event:
+        self._check_handle(handle, want_write=True)
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return self.sim.process(self._truncate(handle, size), name="truncate")
+
+    # ==================== permission & validation helpers ====================
+
+    def _check_handle(self, handle: FileHandle, want_read: bool = False,
+                      want_write: bool = False) -> None:
+        if handle.mount is not self:
+            raise ValueError("handle belongs to a different mount")
+        if not handle.open:
+            raise ValueError(f"handle for {handle.path!r} is closed")
+        if want_read and not handle.readable:
+            raise PermissionDenied(f"{handle.path!r} not open for reading")
+        if want_write and not handle.writable:
+            raise PermissionDenied(f"{handle.path!r} not open for writing")
+
+    def _may(self, inode: Inode, want: str) -> bool:
+        ident = self.identity
+        if ident.is_root:
+            return True
+        if inode.owner_matches(ident.uid, ident.dn):
+            return True
+        bit = {"r": 0o4, "w": 0o2}[want]
+        if inode.gid == ident.gid and inode.mode & (bit << 3):
+            return True
+        return bool(inode.mode & bit)
+
+    def _meta_rtt(self) -> Event:
+        """One metadata round trip to the filesystem manager node."""
+        return self.fs.messages.round_trip(self.node, self.fs.manager_node,
+                                           request_bytes=256, reply_bytes=256)
+
+    #: Token request spans start here and double on every miss, so a
+    #: streaming client pays O(log(file size)) token round trips even when
+    #: another holder blocks the whole-file desired range.
+    TOKEN_RUN_MIN = 8
+    TOKEN_RUN_MAX_BLOCKS = 512
+
+    def _ensure_token(self, handle: FileHandle, offset: int, length: int, mode: str) -> Event:
+        """Token acquisition with whole-file desired range + run doubling.
+
+        Ranges are rounded outward to block boundaries: the page pool caches
+        whole blocks, so a finer-grained token would let a neighbour's write
+        to the same block bypass our revoke-and-invalidate and leave a stale
+        cached copy (GPFS likewise locks at block granularity).
+        """
+        bs = self.fs.block_size
+        ino = handle.inode.ino
+        start = (offset // bs) * bs
+        end = ((offset + length + bs - 1) // bs) * bs
+        if self.tokens.has(ino, start, end, mode):
+            return self.tokens.ensure(ino, start, end, mode)  # cached, instant
+        if handle._token_run == 0:
+            handle._token_run = self.TOKEN_RUN_MIN * bs
+        else:
+            handle._token_run = min(
+                handle._token_run * 2, self.TOKEN_RUN_MAX_BLOCKS * bs
+            )
+        span_end = max(end, start + handle._token_run)
+        return self.tokens.ensure(
+            ino, start, span_end, mode, desired=(0, WHOLE_FILE)
+        )
+
+    # ==================== processes ====================
+
+    def _open(self, path, mode, create):
+        yield self._meta_rtt()
+        ns = self.fs.namespace
+        wants_write = any(c in mode for c in "wa+")
+        if wants_write and self.access == "ro":
+            raise PermissionDenied(
+                f"filesystem {self.fs.name!r} is mounted read-only on {self.node}"
+            )
+        try:
+            inode = ns.resolve(path)
+        except NoSuchFile:
+            if not (create or mode.startswith("w") or mode.startswith("a")):
+                raise
+            if self.access == "ro":
+                raise PermissionDenied(f"read-only mount cannot create {path!r}")
+            inode = ns.create_file(
+                path,
+                self.sim.now,
+                uid=self.identity.uid,
+                gid=self.identity.gid,
+                owner_dn=self.identity.dn,
+            )
+        if inode.is_dir:
+            raise IsADirectory(path)
+        if "r" in mode or "+" in mode:
+            if not self._may(inode, "r"):
+                raise PermissionDenied(f"{path!r}: read permission denied")
+        if wants_write:
+            if not self._may(inode, "w"):
+                raise PermissionDenied(f"{path!r}: write permission denied")
+        handle = FileHandle(self, inode, path, mode)
+        if mode.startswith("w") and inode.size > 0:
+            yield self.sim.process(self._truncate(handle, 0), name="otrunc")
+        if mode.startswith("a"):
+            handle.pos = inode.size
+        inode.atime = self.sim.now
+        return handle
+
+    def _pwrite(self, handle: FileHandle, offset: int, data):
+        inode = handle.inode
+        length = data if isinstance(data, int) else len(data)
+        if length == 0:
+            yield self.sim.timeout(0.0)
+            return 0
+        yield self._ensure_token(handle, offset, length, RW)
+        geometry = self.fs.geometry
+        for piece in geometry.split(offset, length):
+            # Allocate now so ENOSPC surfaces at write() (as POSIX expects),
+            # not inside an asynchronous flusher.
+            self.fs.ensure_block(inode, piece.block_index)
+            # Dirty throttle: wait for flushers before adding more dirty data.
+            while self.pool.total_dirty_blocks >= self._max_dirty_blocks:
+                self._kick_flushes(inode.ino)
+                pending = list(self._flushing.values())
+                if not pending:
+                    break
+                yield self.sim.any_of(pending)
+            partial = not (piece.offset == 0 and piece.length == geometry.block_size)
+            key = (inode.ino, piece.block_index)
+            if partial and key not in self.pool and self.fs.lookup_block(
+                inode, piece.block_index
+            ) is not None:
+                # read-modify-write: fetch the existing block first
+                yield self._fetch_block(inode, piece.block_index)
+            if isinstance(data, int):
+                chunk = None
+            else:
+                lo, _ = geometry.span_bytes(piece)
+                rel = lo - offset
+                chunk = data[rel : rel + piece.length]
+            self.pool.write(inode.ino, piece.block_index, piece.offset, chunk, piece.length)
+        inode.size = max(inode.size, offset + length)
+        inode.mtime = self.sim.now
+        self.bytes_written += length
+        self._kick_flushes(inode.ino)
+        return length
+
+    def _pread(self, handle: FileHandle, offset: int, length: int):
+        inode = handle.inode
+        length = min(length, max(0, inode.size - offset))
+        if length == 0:
+            yield self.sim.timeout(0.0)
+            return b""
+        yield self._ensure_token(handle, offset, length, RO)
+        geometry = self.fs.geometry
+        pieces = geometry.split(offset, length)
+        first_block = pieces[0].block_index
+        last_block = pieces[-1].block_index
+        # Read-ahead on sequential access: keep the prefetch window issued
+        # *before* blocking on this read's own blocks, and anchor it at the
+        # per-handle edge so the window stays `readahead` blocks deep no
+        # matter how fast the application drains the cache. (Issuing it
+        # after the wait collapses the pipeline to the read size and costs
+        # a full WAN RTT per read.)
+        sequential = first_block in (handle._last_block, handle._last_block + 1)
+        if self.readahead and sequential:
+            max_block = (max(0, inode.size - 1)) // geometry.block_size
+            edge_end = min(last_block + self.readahead, max_block)
+            for nxt in range(max(last_block + 1, handle._ra_edge + 1), edge_end + 1):
+                if self.pool.peek(inode.ino, nxt) is None:
+                    self._fetch_block(inode, nxt)  # async, not awaited
+            handle._ra_edge = max(handle._ra_edge, edge_end)
+        # fetch every missing block of the read itself in parallel
+        fetches = []
+        for piece in pieces:
+            key = (inode.ino, piece.block_index)
+            if self.pool.peek(key[0], key[1]) is None:
+                fetches.append(self._fetch_block(inode, piece.block_index))
+        if fetches:
+            yield self.sim.all_of(fetches)
+        handle._last_block = last_block
+        # assemble; a block may have been evicted between its fetch and this
+        # point when the read is larger than the page pool — re-fetch it
+        # (bounded, so a broken pool cannot livelock the read)
+        out: List[bytes] = []
+        for piece in pieces:
+            entry = self.pool.get(inode.ino, piece.block_index)
+            attempts = 0
+            while entry is None and attempts < 8:
+                yield self._fetch_block(inode, piece.block_index)
+                entry = self.pool.get(inode.ino, piece.block_index)
+                attempts += 1
+            if entry is None:
+                raise MemoryError(
+                    f"page pool cannot hold block {piece.block_index} long "
+                    "enough to assemble a read (pool too small?)"
+                )
+            if entry.data is None:
+                out.append(bytes(piece.length))
+            else:
+                blob = entry.data
+                piece_data = blob[piece.offset : piece.offset + piece.length]
+                if len(piece_data) < piece.length:
+                    piece_data += b"\x00" * (piece.length - len(piece_data))
+                out.append(piece_data)
+        inode.atime = self.sim.now
+        self.bytes_read += length
+        return b"".join(out)
+
+    def _fetch_block(self, inode: Inode, block_index: int) -> Event:
+        """Fetch one block into the pool (deduplicated across callers)."""
+        key = (inode.ino, block_index)
+        inflight = self._fetching.get(key)
+        if inflight is not None:
+            return inflight
+        done = self.sim.event(name=f"fetch:{key}")
+        placed = self.fs.lookup_block(inode, block_index)
+
+        def _proc():
+            if placed is None:
+                # sparse: zero-fill without touching the network
+                yield self.sim.timeout(0.0)
+                data = bytes(self.fs.block_size) if self.fs.store_data else None
+            else:
+                nsd_id, phys = placed
+                evt = self.fs.service.read_block(
+                    self.node,
+                    nsd_id,
+                    phys,
+                    0,
+                    self.fs.block_size,
+                    tags=self.tags + ("read",),
+                )
+                data = yield evt
+                if not self.fs.store_data:
+                    data = None
+            if self.pool.peek(*key) is None:
+                self.pool.put_clean(key[0], key[1], data, self.fs.block_size)
+            del self._fetching[key]
+            done.succeed()
+
+        self._fetching[key] = done
+        self.sim.process(_proc(), name=f"fetchp:{key}")
+        return done
+
+    # -- write-behind -----------------------------------------------------------
+
+    def _kick_flushes(self, ino: int) -> None:
+        for block in self.pool.dirty_blocks(ino):
+            key = (ino, block)
+            if key not in self._flushing:
+                done = self.sim.event(name=f"flush:{key}")
+                self._flushing[key] = done
+                self.sim.process(self._flush_block(key, done), name=f"flushp:{key}")
+
+    def _flush_block(self, key: Tuple[int, int], done: Event):
+        ino, block = key
+        try:
+            with self._flush_slots.request() as slot:
+                yield slot
+                entry = self.pool.peek(ino, block)
+                if entry is None or not entry.dirty:
+                    return
+                inode = self.fs.inodes.get(ino)
+                nsd_id, phys = self.fs.ensure_block(inode, block)
+                lo, hi = entry.dirty_lo, entry.dirty_hi
+                if entry.data is not None:
+                    payload: "bytes | int" = entry.data[lo:hi]
+                    if len(payload) < hi - lo:
+                        payload = payload + b"\x00" * (hi - lo - len(payload))
+                else:
+                    payload = hi - lo
+                self.pool.mark_clean(ino, block)  # rewrites re-dirty and re-flush
+                yield self.fs.service.write_block(
+                    self.node,
+                    nsd_id,
+                    phys,
+                    lo,
+                    payload,
+                    tags=self.tags + ("write",),
+                )
+        finally:
+            del self._flushing[key]
+            done.succeed()
+
+    def _fsync(self, ino: int):
+        # Loop: new writes may dirty blocks while earlier flushes drain.
+        while True:
+            self._kick_flushes(ino)
+            pending = [evt for key, evt in self._flushing.items() if key[0] == ino]
+            if not pending:
+                break
+            yield self.sim.all_of(pending)
+        yield self.sim.timeout(0.0)
+
+    def _close(self, handle: FileHandle):
+        yield self.sim.process(self._fsync(handle.inode.ino), name="close-fsync")
+        handle.open = False
+        return None
+
+    def _revoke_flush(self, ino: int, lo: int, hi: int):
+        """Token revoke: flush dirty data in range, drop cached blocks."""
+        blocks = self.pool.dirty_blocks(ino, lo, hi)
+        for block in blocks:
+            key = (ino, block)
+            if key not in self._flushing:
+                done = self.sim.event(name=f"rflush:{key}")
+                self._flushing[key] = done
+                self.sim.process(self._flush_block(key, done), name=f"rflushp:{key}")
+        pending = [
+            evt
+            for key, evt in self._flushing.items()
+            if key[0] == ino and key[1] in set(blocks)
+        ]
+        if pending:
+            yield self.sim.all_of(pending)
+        else:
+            yield self.sim.timeout(0.0)
+        # coherence: drop (now clean) cache entries in the revoked range
+        bs = self.fs.block_size
+        for block in range(lo // bs, (max(lo, hi - 1)) // bs + 1):
+            self.pool.invalidate(ino, block)
+
+    # -- metadata processes -------------------------------------------------------
+
+    def _meta_mkdir(self, path):
+        yield self._meta_rtt()
+        if self.access == "ro":
+            raise PermissionDenied("read-only mount")
+        return self.fs.namespace.mkdir(
+            path,
+            self.sim.now,
+            uid=self.identity.uid,
+            gid=self.identity.gid,
+            owner_dn=self.identity.dn,
+        )
+
+    def _meta_listdir(self, path):
+        yield self._meta_rtt()
+        return self.fs.namespace.listdir(path)
+
+    def _meta_stat(self, path):
+        yield self._meta_rtt()
+        return self.fs.namespace.resolve(path)
+
+    def _meta_unlink(self, path):
+        yield self._meta_rtt()
+        if self.access == "ro":
+            raise PermissionDenied("read-only mount")
+        inode = self.fs.namespace.resolve(path)
+        if not (self.identity.is_root or inode.owner_matches(self.identity.uid, self.identity.dn)):
+            raise PermissionDenied(f"{path!r}: not the owner")
+        inode = self.fs.namespace.unlink(path, self.sim.now)
+        if inode.nlink <= 0:
+            self.fs.free_file_blocks(inode)
+            self.fs.inodes.drop(inode.ino)
+            self.tokens.release_all(inode.ino)
+        return None
+
+    def _meta_rename(self, old, new):
+        yield self._meta_rtt()
+        if self.access == "ro":
+            raise PermissionDenied("read-only mount")
+        self.fs.namespace.rename(old, new, self.sim.now)
+        return None
+
+    def _truncate(self, handle: FileHandle, size: int):
+        inode = handle.inode
+        bs = self.fs.block_size
+        yield self._ensure_token(handle, 0, max(size, inode.size) + 1, RW)
+        keep_blocks = (size + bs - 1) // bs
+        self.fs.free_file_blocks(inode, from_block=keep_blocks)
+        # drop cache beyond the new size
+        for key in list(self.pool._entries):
+            if key[0] == inode.ino and key[1] >= keep_blocks:
+                entry = self.pool._entries[key]
+                entry.dirty = False
+                self.pool.mark_clean(inode.ino, key[1])
+                self.pool.invalidate(inode.ino, key[1])
+        # zero the tail of a retained partial block: bytes beyond the new
+        # size must read back as zeros if the file is later re-extended
+        if size % bs:
+            tail_block = size // bs
+            keep = size % bs
+            self.pool.trim_block(inode.ino, tail_block, keep)
+            placed = self.fs.lookup_block(inode, tail_block)
+            if placed is not None:
+                nsd_id, phys = placed
+                self.fs.nsds[nsd_id].trim(phys, keep)
+        inode.size = min(inode.size, size)
+        inode.mtime = self.sim.now
+        return None

@@ -1,0 +1,113 @@
+"""The Filesystem object: geometry + metadata + data-plane handles.
+
+One :class:`Filesystem` corresponds to a GPFS device (``/dev/gpfs-sc04``):
+a stripe geometry over a set of NSDs, an inode table and namespace, an
+allocation map, a token manager, and the NSD data-plane service. Mounts
+(:class:`repro.core.client.MountedFs`) are created against it from any
+node of any authorized cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import AllocationMap
+from repro.core.blocks import StripeGeometry
+from repro.core.inode import Inode, InodeTable
+from repro.core.namespace import Namespace
+from repro.core.nsd import Nsd, NsdService
+from repro.core.tokens import TokenManager
+from repro.net.message import MessageService
+from repro.sim.kernel import Simulation
+
+
+class Filesystem:
+    """A GPFS-like filesystem over a set of NSDs."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        block_size: int,
+        nsds: List[Nsd],
+        service: NsdService,
+        messages: MessageService,
+        manager_node: str,
+        owner_cluster: str = "",
+        store_data: bool = True,
+    ) -> None:
+        if not nsds:
+            raise ValueError("a filesystem needs at least one NSD")
+        if any(n.block_size != block_size for n in nsds):
+            raise ValueError("all NSDs must match the filesystem block size")
+        self.sim = sim
+        self.name = name
+        self.block_size = int(block_size)
+        self.nsds = {n.nsd_id: n for n in nsds}
+        self._nsd_order = [n.nsd_id for n in nsds]
+        self.geometry = StripeGeometry(block_size, len(nsds))
+        self.service = service
+        self.messages = messages
+        self.manager_node = manager_node
+        self.owner_cluster = owner_cluster
+        self.store_data = store_data
+        self.inodes = InodeTable()
+        self.namespace = Namespace(self.inodes, now=sim.now)
+        self.allocation = AllocationMap({n.nsd_id: n.total_blocks for n in nsds})
+        self.token_manager = TokenManager(sim, messages, manager_node)
+        self.mounts: list = []
+
+    # -- capacity ----------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.allocation.total_blocks * self.block_size
+
+    @property
+    def free_bytes(self) -> int:
+        return self.allocation.free_blocks * self.block_size
+
+    @property
+    def used_bytes(self) -> int:
+        return self.allocation.allocated_blocks * self.block_size
+
+    # -- block placement ------------------------------------------------------------
+
+    def nsd_id_for(self, ino: int, block_index: int) -> int:
+        """Which NSD a logical block of a file lives on."""
+        slot = self.geometry.nsd_for(ino, block_index)
+        return self._nsd_order[slot]
+
+    def lookup_block(self, inode: Inode, block_index: int) -> Optional[Tuple[int, int]]:
+        """(nsd_id, physical block) if allocated, else None."""
+        return inode.blocks.get(block_index)
+
+    def ensure_block(self, inode: Inode, block_index: int) -> Tuple[int, int]:
+        """Allocate the block on its striping target if needed."""
+        placed = inode.blocks.get(block_index)
+        if placed is not None:
+            return placed
+        nsd_id = self.nsd_id_for(inode.ino, block_index)
+        phys = self.allocation.alloc_on(nsd_id)
+        inode.blocks[block_index] = (nsd_id, phys)
+        return nsd_id, phys
+
+    def free_file_blocks(self, inode: Inode, from_block: int = 0) -> int:
+        """Release blocks >= ``from_block``; returns count freed."""
+        doomed = [b for b in inode.blocks if b >= from_block]
+        for b in doomed:
+            nsd_id, phys = inode.blocks.pop(b)
+            self.allocation.free_on(nsd_id, phys)
+            self.nsds[nsd_id].discard(phys)
+        return len(doomed)
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate counters (for harness output)."""
+        return {
+            "capacity": self.capacity,
+            "used": self.used_bytes,
+            "blocks_read": self.service.blocks_read,
+            "blocks_written": self.service.blocks_written,
+            "token_grants": self.token_manager.grants,
+            "token_revokes": self.token_manager.revokes,
+        }

@@ -1,0 +1,101 @@
+"""Inodes: per-object metadata.
+
+Ownership carries both the classic numeric ``uid``/``gid`` *and* an
+optional GSI distinguished name ``owner_dn`` — the SDSC extension of §6:
+on a Global File System mounted from several administrative domains, the
+DN is the stable identity and per-site UIDs are derived views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+
+class FileType(Enum):
+    FILE = "file"
+    DIRECTORY = "dir"
+
+
+@dataclass
+class Inode:
+    ino: int
+    ftype: FileType
+    uid: int = 0
+    gid: int = 0
+    owner_dn: Optional[str] = None
+    mode: int = 0o644
+    size: int = 0
+    ctime: float = 0.0
+    mtime: float = 0.0
+    atime: float = 0.0
+    nlink: int = 1
+    #: logical block index → (nsd_id, physical block)
+    blocks: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: HSM state: None = resident; otherwise the tape location token.
+    hsm_offline: Optional[str] = None
+
+    @property
+    def is_dir(self) -> bool:
+        return self.ftype is FileType.DIRECTORY
+
+    @property
+    def is_file(self) -> bool:
+        return self.ftype is FileType.FILE
+
+    @property
+    def allocated_blocks(self) -> int:
+        return len(self.blocks)
+
+    def owner_matches(self, uid: int, dn: Optional[str]) -> bool:
+        """True when the caller is this object's owner.
+
+        DN identity wins when both sides have one (the GSI extension);
+        otherwise falls back to numeric UID comparison (classic behaviour —
+        and the cross-site hazard the extension removes).
+        """
+        if self.owner_dn is not None and dn is not None:
+            return self.owner_dn == dn
+        return self.uid == uid
+
+
+class InodeTable:
+    """Inode storage with allocation."""
+
+    def __init__(self) -> None:
+        self._inodes: Dict[int, Inode] = {}
+        self._next_ino = 1
+
+    def allocate(self, ftype: FileType, now: float, uid: int = 0, gid: int = 0,
+                 owner_dn: Optional[str] = None, mode: int = 0o644) -> Inode:
+        ino = self._next_ino
+        self._next_ino += 1
+        inode = Inode(
+            ino=ino,
+            ftype=ftype,
+            uid=uid,
+            gid=gid,
+            owner_dn=owner_dn,
+            mode=mode,
+            ctime=now,
+            mtime=now,
+            atime=now,
+        )
+        self._inodes[ino] = inode
+        return inode
+
+    def get(self, ino: int) -> Inode:
+        try:
+            return self._inodes[ino]
+        except KeyError:
+            raise KeyError(f"no inode {ino}") from None
+
+    def drop(self, ino: int) -> None:
+        self._inodes.pop(ino, None)
+
+    def __len__(self) -> int:
+        return len(self._inodes)
+
+    def __contains__(self, ino: int) -> bool:
+        return ino in self._inodes

@@ -1,0 +1,187 @@
+"""Directory tree and path resolution."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.inode import FileType, Inode, InodeTable
+
+
+class FsError(OSError):
+    """Base for filesystem errors."""
+
+
+class NoSuchFile(FsError):
+    pass
+
+
+class NotADirectory(FsError):
+    pass
+
+
+class IsADirectory(FsError):
+    pass
+
+
+class FileExists(FsError):
+    pass
+
+
+class DirectoryNotEmpty(FsError):
+    pass
+
+
+class PermissionDenied(FsError):
+    pass
+
+
+def split_path(path: str) -> List[str]:
+    """Normalize an absolute path into components."""
+    if not path.startswith("/"):
+        raise ValueError(f"paths must be absolute, got {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+class Namespace:
+    """The directory tree of one filesystem."""
+
+    def __init__(self, inodes: InodeTable, now: float = 0.0) -> None:
+        self.inodes = inodes
+        root = inodes.allocate(FileType.DIRECTORY, now, mode=0o755)
+        self.root_ino = root.ino
+        self._dirs: Dict[int, Dict[str, int]] = {root.ino: {}}
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolve(self, path: str) -> Inode:
+        """Path → inode; raises NoSuchFile / NotADirectory."""
+        parts = split_path(path)
+        inode = self.inodes.get(self.root_ino)
+        for part in parts:
+            if not inode.is_dir:
+                raise NotADirectory(f"{part!r} reached through a non-directory in {path!r}")
+            entries = self._dirs[inode.ino]
+            if part not in entries:
+                raise NoSuchFile(path)
+            inode = self.inodes.get(entries[part])
+        return inode
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.resolve(path)
+            return True
+        except FsError:
+            return False
+
+    def _resolve_parent(self, path: str) -> Tuple[Inode, str]:
+        parts = split_path(path)
+        if not parts:
+            raise FsError("cannot operate on the root directory")
+        parent_path = "/" + "/".join(parts[:-1])
+        parent = self.resolve(parent_path)
+        if not parent.is_dir:
+            raise NotADirectory(parent_path)
+        return parent, parts[-1]
+
+    # -- mutation ----------------------------------------------------------------
+
+    def create_file(
+        self,
+        path: str,
+        now: float,
+        uid: int = 0,
+        gid: int = 0,
+        owner_dn: Optional[str] = None,
+        mode: int = 0o644,
+    ) -> Inode:
+        parent, name = self._resolve_parent(path)
+        if name in self._dirs[parent.ino]:
+            raise FileExists(path)
+        inode = self.inodes.allocate(
+            FileType.FILE, now, uid=uid, gid=gid, owner_dn=owner_dn, mode=mode
+        )
+        self._dirs[parent.ino][name] = inode.ino
+        parent.mtime = now
+        return inode
+
+    def mkdir(
+        self,
+        path: str,
+        now: float,
+        uid: int = 0,
+        gid: int = 0,
+        owner_dn: Optional[str] = None,
+        mode: int = 0o755,
+    ) -> Inode:
+        parent, name = self._resolve_parent(path)
+        if name in self._dirs[parent.ino]:
+            raise FileExists(path)
+        inode = self.inodes.allocate(
+            FileType.DIRECTORY, now, uid=uid, gid=gid, owner_dn=owner_dn, mode=mode
+        )
+        self._dirs[parent.ino][name] = inode.ino
+        self._dirs[inode.ino] = {}
+        parent.mtime = now
+        return inode
+
+    def listdir(self, path: str) -> List[str]:
+        inode = self.resolve(path)
+        if not inode.is_dir:
+            raise NotADirectory(path)
+        return sorted(self._dirs[inode.ino])
+
+    def unlink(self, path: str, now: float) -> Inode:
+        """Remove a file entry; returns the (now unlinked) inode."""
+        parent, name = self._resolve_parent(path)
+        entries = self._dirs[parent.ino]
+        if name not in entries:
+            raise NoSuchFile(path)
+        inode = self.inodes.get(entries[name])
+        if inode.is_dir:
+            raise IsADirectory(path)
+        del entries[name]
+        inode.nlink -= 1
+        parent.mtime = now
+        return inode
+
+    def rmdir(self, path: str, now: float) -> None:
+        parent, name = self._resolve_parent(path)
+        entries = self._dirs[parent.ino]
+        if name not in entries:
+            raise NoSuchFile(path)
+        inode = self.inodes.get(entries[name])
+        if not inode.is_dir:
+            raise NotADirectory(path)
+        if self._dirs[inode.ino]:
+            raise DirectoryNotEmpty(path)
+        del entries[name]
+        del self._dirs[inode.ino]
+        self.inodes.drop(inode.ino)
+        parent.mtime = now
+
+    def rename(self, old: str, new: str, now: float) -> None:
+        src_parent, src_name = self._resolve_parent(old)
+        if src_name not in self._dirs[src_parent.ino]:
+            raise NoSuchFile(old)
+        dst_parent, dst_name = self._resolve_parent(new)
+        if dst_name in self._dirs[dst_parent.ino]:
+            raise FileExists(new)
+        ino = self._dirs[src_parent.ino].pop(src_name)
+        self._dirs[dst_parent.ino][dst_name] = ino
+        src_parent.mtime = now
+        dst_parent.mtime = now
+
+    def walk(self, path: str = "/") -> List[str]:
+        """All paths under ``path`` (depth-first, files and dirs)."""
+        inode = self.resolve(path)
+        if not inode.is_dir:
+            return [path]
+        out: List[str] = []
+        base = path.rstrip("/")
+        for name in sorted(self._dirs[inode.ino]):
+            child = f"{base}/{name}"
+            out.append(child)
+            child_ino = self.inodes.get(self._dirs[inode.ino][name])
+            if child_ino.is_dir:
+                out.extend(self.walk(child))
+        return out

@@ -1,0 +1,318 @@
+"""Network Shared Disks and the block data plane.
+
+An :class:`Nsd` is one exported LUN: a pool of physical blocks with (when
+``store_data``) real byte contents — reads return exactly what writes
+stored, which is what the integrity tests assert end-to-end across
+clusters.
+
+An :class:`NsdServer` is the node that fronts a set of NSDs: it owns the
+FC path to the bricks (HBA → controller → RAID) and its GbE/10GbE NIC is
+a link in the network graph, so server-side bottlenecks emerge from the
+topology rather than from tuning constants.
+
+:class:`NsdService` is the data-plane protocol:
+
+* write: client → server data flow, then the server's SAN write, then an
+  ack message back;
+* read: request message, SAN read, then server → client data flow.
+
+Block transfers from one client fan out across *all* NSD servers (striping),
+which is precisely the many-parallel-TCP-streams structure that let the
+paper saturate WAN links despite 80 ms RTTs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Iterable, Optional
+
+from repro.net.flow import FlowEngine
+from repro.net.message import MessageService
+from repro.net.tcp import TcpModel
+from repro.sim.kernel import Event, Simulation
+from repro.storage.array import Lun
+from repro.storage.san import Hba
+
+
+class Nsd:
+    """One network shared disk: identity, capacity, and block contents."""
+
+    def __init__(
+        self,
+        nsd_id: int,
+        name: str,
+        total_blocks: int,
+        block_size: int,
+        lun: Optional[Lun] = None,
+        store_data: bool = True,
+    ) -> None:
+        if total_blocks <= 0 or block_size <= 0:
+            raise ValueError("total_blocks and block_size must be positive")
+        self.nsd_id = nsd_id
+        self.name = name
+        self.total_blocks = total_blocks
+        self.block_size = block_size
+        self.lun = lun
+        self.store_data = store_data
+        self._data: Dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.total_blocks * self.block_size
+
+    def _check_block(self, phys: int) -> None:
+        if not 0 <= phys < self.total_blocks:
+            raise ValueError(f"physical block {phys} out of range on {self.name}")
+
+    def store(self, phys: int, offset: int, data: bytes) -> None:
+        """Merge ``data`` into block ``phys`` at ``offset`` (logical effect)."""
+        self._check_block(phys)
+        if offset < 0 or offset + len(data) > self.block_size:
+            raise ValueError("write exceeds block bounds")
+        self.writes += 1
+        if not self.store_data:
+            return
+        old = self._data.get(phys, b"")
+        if len(old) < offset:
+            old = old + b"\x00" * (offset - len(old))
+        new = old[:offset] + data + old[offset + len(data):]
+        self._data[phys] = new
+
+    def fetch(self, phys: int, offset: int, length: int) -> bytes:
+        """Block contents (zero-filled where never written)."""
+        self._check_block(phys)
+        if offset < 0 or length < 0 or offset + length > self.block_size:
+            raise ValueError("read exceeds block bounds")
+        self.reads += 1
+        if not self.store_data:
+            return bytes(length)
+        blob = self._data.get(phys, b"")
+        piece = blob[offset : offset + length]
+        if len(piece) < length:
+            piece = piece + b"\x00" * (length - len(piece))
+        return piece
+
+    def discard(self, phys: int) -> None:
+        self._data.pop(phys, None)
+
+    def trim(self, phys: int, keep_bytes: int) -> None:
+        """Drop block contents beyond ``keep_bytes`` (truncate tail)."""
+        self._check_block(phys)
+        if keep_bytes < 0 or keep_bytes > self.block_size:
+            raise ValueError("keep_bytes out of block bounds")
+        blob = self._data.get(phys)
+        if blob is not None and len(blob) > keep_bytes:
+            self._data[phys] = blob[:keep_bytes]
+
+
+class NsdServer:
+    """A node exporting NSDs: NIC in the graph + FC path to the bricks."""
+
+    def __init__(
+        self,
+        node: str,
+        nsds: Iterable[Nsd],
+        hba: Optional[Hba] = None,
+        name: str = "",
+        tags: tuple[str, ...] = (),
+    ) -> None:
+        self.node = node
+        self.name = name or node
+        self.nsds = list(nsds)
+        self.hba = hba
+        self.tags = tags  # e.g. the SCinet lane this server's NIC rides
+        self.bytes_served = 0.0
+
+    def disk_io(self, sim: Simulation, nsd: Nsd, kind: str, nbytes: float,
+                sequential: bool = True) -> Event:
+        """The server-side SAN leg: HBA then LUN (skipped for diskless NSDs)."""
+        return sim.process(self._disk_io(sim, nsd, kind, nbytes, sequential),
+                           name=f"{self.name}-san-{kind}")
+
+    def _disk_io(self, sim: Simulation, nsd: Nsd, kind: str, nbytes: float,
+                 sequential: bool) -> Generator[Event, None, None]:
+        if self.hba is not None:
+            yield self.hba.transfer(nbytes)
+        if nsd.lun is not None:
+            yield nsd.lun.io(kind, nbytes, sequential)
+        else:
+            yield sim.timeout(0.0)
+        self.bytes_served += nbytes
+
+
+#: Resolver hooks: (client_node, server_node) → value.
+CapResolver = Callable[[str, str], Optional[float]]
+TcpResolver = Callable[[str, str], Optional[TcpModel]]
+#: → list of per-node crypto Pipes the payload must pass through.
+CryptoResolver = Callable[[str, str], list]
+
+
+class NsdServerDown(ConnectionError):
+    """Neither the primary nor any backup NSD server is reachable."""
+
+
+class NsdService:
+    """The client↔server block protocol over the fluid network.
+
+    Each NSD has a primary server and optionally backups ("the list of
+    primary and secondary NSD servers", §6.2); when a node is marked down
+    the service fails over to the next server that shares SAN access to
+    the disk, exactly as GPFS does.
+    """
+
+    #: Size of control messages (requests/acks), bytes.
+    CONTROL_BYTES = 512.0
+
+    def __init__(
+        self,
+        sim: Simulation,
+        engine: FlowEngine,
+        messages: MessageService,
+        servers: Dict[int, NsdServer],
+        nsds: Dict[int, Nsd],
+        cap_resolver: Optional[CapResolver] = None,
+        tcp_resolver: Optional[TcpResolver] = None,
+        crypto_resolver: Optional[CryptoResolver] = None,
+        backup_servers: Optional[Dict[int, list]] = None,
+    ) -> None:
+        self.sim = sim
+        self.engine = engine
+        self.messages = messages
+        self.servers = servers
+        self.nsds = nsds
+        self.cap_resolver = cap_resolver
+        self.tcp_resolver = tcp_resolver
+        self.crypto_resolver = crypto_resolver
+        self.backup_servers: Dict[int, list] = backup_servers or {}
+        self.down_nodes: set[str] = set()
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.failovers = 0
+
+    def mark_down(self, node: str) -> None:
+        """Declare an NSD server node dead (disk lease expired)."""
+        self.down_nodes.add(node)
+
+    def mark_up(self, node: str) -> None:
+        self.down_nodes.discard(node)
+
+    def server_of(self, nsd_id: int) -> NsdServer:
+        try:
+            primary = self.servers[nsd_id]
+        except KeyError:
+            raise KeyError(f"no NSD server for NSD {nsd_id}") from None
+        if primary.node not in self.down_nodes:
+            return primary
+        for backup in self.backup_servers.get(nsd_id, []):
+            if backup.node not in self.down_nodes:
+                self.failovers += 1
+                return backup
+        raise NsdServerDown(
+            f"NSD {nsd_id}: primary {primary.node!r} and all backups are down"
+        )
+
+    def _pair_kwargs(self, src: str, dst: str) -> dict:
+        kw: dict = {}
+        if self.cap_resolver is not None:
+            cap = self.cap_resolver(src, dst)
+            if cap is not None:
+                kw["cap"] = cap
+        if self.tcp_resolver is not None:
+            tcp = self.tcp_resolver(src, dst)
+            if tcp is not None:
+                kw["tcp"] = tcp
+        return kw
+
+    # -- block ops -----------------------------------------------------------
+
+    def write_block(
+        self,
+        client_node: str,
+        nsd_id: int,
+        phys: int,
+        offset: int,
+        data: bytes | int,
+        sequential: bool = True,
+        tags: tuple[str, ...] = (),
+    ) -> Event:
+        """Write ``data`` (bytes, or a length for size-only mode) to a block."""
+        return self.sim.process(
+            self._write(client_node, nsd_id, phys, offset, data, sequential, tags),
+            name="nsd-write",
+        )
+
+    def _write(self, client_node, nsd_id, phys, offset, data, sequential, tags):
+        nsd = self.nsds[nsd_id]
+        server = self.server_of(nsd_id)
+        if isinstance(data, int):
+            length = data
+            payload: bytes | None = None
+        else:
+            length = len(data)
+            payload = data
+        # 0. software crypto (per-node CPU stages) when the cluster pair
+        #    runs an encrypting cipherList
+        if self.crypto_resolver is not None:
+            for pipe in self.crypto_resolver(client_node, server.node):
+                yield pipe.transfer(length)
+        # 1. data flow client → server
+        yield self.engine.transfer(
+            client_node,
+            server.node,
+            length,
+            tags=tuple(tags) + server.tags,
+            **self._pair_kwargs(client_node, server.node),
+        )
+        # 2. media write
+        yield server.disk_io(self.sim, nsd, "write", length, sequential)
+        # logical effect
+        if payload is not None:
+            nsd.store(phys, offset, payload)
+        else:
+            nsd._check_block(phys)
+            nsd.writes += 1  # size-only mode: count, no contents to keep
+        self.blocks_written += 1
+        # 3. ack back to client
+        yield self.messages.send(server.node, client_node, nbytes=self.CONTROL_BYTES)
+        return length
+
+    def read_block(
+        self,
+        client_node: str,
+        nsd_id: int,
+        phys: int,
+        offset: int,
+        length: int,
+        sequential: bool = True,
+        tags: tuple[str, ...] = (),
+    ) -> Event:
+        """Read a block slice; the event's value is the data (bytes)."""
+        return self.sim.process(
+            self._read(client_node, nsd_id, phys, offset, length, sequential, tags),
+            name="nsd-read",
+        )
+
+    def _read(self, client_node, nsd_id, phys, offset, length, sequential, tags):
+        nsd = self.nsds[nsd_id]
+        server = self.server_of(nsd_id)
+        # 1. request message client → server
+        yield self.messages.send(client_node, server.node, nbytes=self.CONTROL_BYTES)
+        # 2. media read
+        yield server.disk_io(self.sim, nsd, "read", length, sequential)
+        data = nsd.fetch(phys, offset, length)
+        # 2b. software crypto stages (encrypt at the server, decrypt at the
+        #     client — each node's CPU is a shared pipe)
+        if self.crypto_resolver is not None:
+            for pipe in self.crypto_resolver(server.node, client_node):
+                yield pipe.transfer(length)
+        # 3. data flow server → client
+        yield self.engine.transfer(
+            server.node,
+            client_node,
+            length,
+            tags=tuple(tags) + server.tags,
+            **self._pair_kwargs(server.node, client_node),
+        )
+        self.blocks_read += 1
+        return data

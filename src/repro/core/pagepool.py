@@ -1,0 +1,204 @@
+"""The client page pool: GPFS's unified block cache.
+
+Per-mount LRU cache of file blocks with dirty tracking. Write-behind and
+read-ahead policy live in the mount (:mod:`repro.core.client`); the pool is
+the bookkeeping: capacity in bytes, eviction of clean blocks only, and the
+per-inode dirty index that token revocation and fsync flush from.
+
+Entries store real bytes when the filesystem keeps data, or lengths in
+size-only mode (benchmarks) — the accounting is identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+Key = Tuple[int, int]  # (ino, logical block index)
+
+
+@dataclass
+class CacheEntry:
+    data: Optional[bytes]  # None in size-only mode
+    length: int
+    dirty: bool = False
+    #: dirty byte span within the block (for partial-block flushes)
+    dirty_lo: int = 0
+    dirty_hi: int = 0
+
+
+class PagePool:
+    """Bounded block cache with LRU eviction of clean entries."""
+
+    def __init__(self, capacity_bytes: int, block_size: int) -> None:
+        if capacity_bytes < block_size:
+            raise ValueError("page pool smaller than one block")
+        self.capacity = capacity_bytes
+        self.block_size = block_size
+        self._entries: "OrderedDict[Key, CacheEntry]" = OrderedDict()
+        self._dirty_by_ino: Dict[int, Set[int]] = {}
+        self.used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, ino: int, block: int) -> Optional[CacheEntry]:
+        entry = self._entries.get((ino, block))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((ino, block))
+        self.hits += 1
+        return entry
+
+    def peek(self, ino: int, block: int) -> Optional[CacheEntry]:
+        """Lookup without LRU/statistics side effects."""
+        return self._entries.get((ino, block))
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    # -- insertion / update -----------------------------------------------------
+
+    def put_clean(self, ino: int, block: int, data: Optional[bytes], length: int) -> None:
+        """Install a block fetched from an NSD."""
+        key = (ino, block)
+        old = self._entries.get(key)
+        if old is not None and old.dirty:
+            raise ValueError(f"refusing to overwrite dirty block {key}")
+        self._insert(key, CacheEntry(data=data, length=length))
+
+    def write(
+        self,
+        ino: int,
+        block: int,
+        offset: int,
+        data: Optional[bytes],
+        length: int,
+    ) -> None:
+        """Apply a write into the cache, marking the block dirty."""
+        if offset < 0 or offset + length > self.block_size:
+            raise ValueError("write exceeds block bounds")
+        key = (ino, block)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = CacheEntry(data=None if data is None else b"", length=0)
+            self._insert(key, entry)
+        if data is not None:
+            old = entry.data or b""
+            if len(old) < offset:
+                old = old + b"\x00" * (offset - len(old))
+            entry.data = old[:offset] + data + old[offset + length:]
+            entry.length = len(entry.data)
+        else:
+            entry.length = max(entry.length, offset + length)
+        if entry.dirty:
+            entry.dirty_lo = min(entry.dirty_lo, offset)
+            entry.dirty_hi = max(entry.dirty_hi, offset + length)
+        else:
+            entry.dirty = True
+            entry.dirty_lo = offset
+            entry.dirty_hi = offset + length
+        self._dirty_by_ino.setdefault(ino, set()).add(block)
+        self._entries.move_to_end(key)
+
+    def mark_clean(self, ino: int, block: int) -> None:
+        """Called after a successful flush."""
+        entry = self._entries.get((ino, block))
+        if entry is None:
+            return
+        entry.dirty = False
+        entry.dirty_lo = entry.dirty_hi = 0
+        blocks = self._dirty_by_ino.get(ino)
+        if blocks is not None:
+            blocks.discard(block)
+            if not blocks:
+                del self._dirty_by_ino[ino]
+
+    def trim_block(self, ino: int, block: int, keep: int) -> None:
+        """Drop cached contents of one block beyond ``keep`` bytes (truncate).
+
+        Dirty spans are clamped; a span that fell entirely beyond the keep
+        point is discarded (the data it covered no longer exists).
+        """
+        if not 0 <= keep <= self.block_size:
+            raise ValueError("keep out of block bounds")
+        entry = self._entries.get((ino, block))
+        if entry is None:
+            return
+        if entry.data is not None and len(entry.data) > keep:
+            entry.data = entry.data[:keep]
+        entry.length = min(entry.length, keep)
+        if entry.dirty:
+            entry.dirty_hi = min(entry.dirty_hi, keep)
+            if entry.dirty_lo >= entry.dirty_hi:
+                self.mark_clean(ino, block)
+
+    def invalidate(self, ino: int, block: Optional[int] = None) -> None:
+        """Drop clean entries (all of an ino, or one block). Dirty survive."""
+        keys = (
+            [(ino, block)]
+            if block is not None
+            else [k for k in self._entries if k[0] == ino]
+        )
+        for key in keys:
+            entry = self._entries.get(key)
+            if entry is not None and not entry.dirty:
+                self.used -= self.block_size
+                del self._entries[key]
+
+    # -- dirty index ------------------------------------------------------------
+
+    def dirty_blocks(self, ino: int, lo: Optional[int] = None, hi: Optional[int] = None) -> List[int]:
+        """Dirty block indices of ``ino`` (optionally intersecting [lo, hi) bytes)."""
+        blocks = sorted(self._dirty_by_ino.get(ino, ()))
+        if lo is None and hi is None:
+            return blocks
+        lo = 0 if lo is None else lo
+        hi = float("inf") if hi is None else hi
+        out = []
+        for b in blocks:
+            b_lo, b_hi = b * self.block_size, (b + 1) * self.block_size
+            if b_lo < hi and lo < b_hi:
+                out.append(b)
+        return out
+
+    @property
+    def dirty_bytes(self) -> int:
+        return sum(len(blocks) for blocks in self._dirty_by_ino.values()) * self.block_size
+
+    @property
+    def total_dirty_blocks(self) -> int:
+        return sum(len(blocks) for blocks in self._dirty_by_ino.values())
+
+    # -- internals ---------------------------------------------------------------
+
+    def _insert(self, key: Key, entry: CacheEntry) -> None:
+        if key in self._entries:
+            old = self._entries[key]
+            if old.dirty and not entry.dirty:
+                raise ValueError(f"refusing to overwrite dirty block {key}")
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            return
+        self._evict_for_space()
+        self._entries[key] = entry
+        self.used += self.block_size
+
+    def _evict_for_space(self) -> None:
+        while self.used + self.block_size > self.capacity:
+            victim = None
+            for key, entry in self._entries.items():  # LRU order
+                if not entry.dirty:
+                    victim = key
+                    break
+            if victim is None:
+                raise MemoryError(
+                    "page pool full of dirty blocks — write-behind cannot keep up"
+                )
+            del self._entries[victim]
+            self.used -= self.block_size
+            self.evictions += 1

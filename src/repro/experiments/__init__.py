@@ -1,0 +1,16 @@
+"""Per-figure experiment harnesses (see DESIGN.md §3 for the index).
+
+Each module exposes ``run_*`` returning an :class:`ExperimentResult` whose
+table/series print the same rows the paper's figure plots. ``benchmarks/``
+wraps these with pytest-benchmark; ``EXPERIMENTS.md`` records paper-vs-
+measured numbers; ``python -m repro report`` regenerates everything.
+
+Index: E1 (Fig 2), E2 (Fig 5), E3 (Fig 8), E4 (Fig 11), E5 (ANL), E6
+(DEISA), E7 (staging vs GFS), E8 (latency), E9 (auth), E10 (HSM), E11
+(BG/L), E12 (SCEC capacity); ablations A1 (block size), A2 (server count),
+A3 (TCP window), A4 (GbE upgrade), A5 (degraded/failover), A6 (loss).
+"""
+
+from repro.experiments.harness import ExperimentResult, format_result
+
+__all__ = ["ExperimentResult", "format_result"]

@@ -1,0 +1,102 @@
+"""E4 — Fig 11: production GFS scaling with remote node count.
+
+Paper (§5): "MPI IO, 128 MB Block Size, 1 MB Transfer Size ... with a
+measured maximum of almost 6 GB/s, within a network environment with a
+theoretical maximum of 8 GB/s. The observed discrepancy between read and
+write rates is not yet understood, but is not an immediate handicap since
+we expect the dominant usage of the GFS to be remote reads."
+
+Our model attributes the gap to DS4100 write-side limits (RAID-5 parity on
+SATA + write-cache mirroring between the dual controllers), calibrated at
+50 MB/s per controller — see EXPERIMENTS.md §E4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.harness import ExperimentResult
+from repro.topology.sdsc2005 import build_sdsc2005
+from repro.util.tables import Table
+from repro.util.units import MiB
+from repro.workloads.mpiio import mpiio_collective
+
+DEFAULT_COUNTS = (1, 2, 4, 8, 16, 32, 48, 64)
+
+
+def run_fig11(
+    node_counts: Sequence[int] = DEFAULT_COUNTS,
+    region_bytes: int = MiB(128),
+    transfer_bytes: int = MiB(1),
+    nsd_servers: int = 64,
+    ds4100_count: int = 32,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E4",
+        title="Fig 11: speed vs node count, reads and writes (MPI-IO 128MB/1MB)",
+        paper_claim="reads scale to ~6 GB/s (8 GB/s network ceiling); writes ~half; gap 'not yet understood'",
+    )
+    table = Table(
+        ["nodes", "read MB/s", "write MB/s", "read/node", "r/w"],
+        title="MPI IO, 128 MB block, 1 MB transfer",
+    )
+    read_rates: List[float] = []
+    write_rates: List[float] = []
+    for count in node_counts:
+        scenario = build_sdsc2005(
+            nsd_servers=nsd_servers,
+            ds4100_count=ds4100_count,
+            sdsc_clients=max(node_counts),
+            anl_clients=0,
+            ncsa_clients=0,
+            store_data=False,
+        )
+        g = scenario.gfs
+        mounts = scenario.mount_clients("sdsc", count, pagepool_bytes=MiB(256))
+        w = g.run(
+            until=mpiio_collective(
+                mounts, "/mpiio", "write",
+                region_bytes=region_bytes, transfer_bytes=transfer_bytes,
+            )
+        )
+        for m in mounts:  # cold caches for the read pass
+            m.pool.invalidate(scenario.fs.namespace.resolve("/mpiio").ino)
+        r = g.run(
+            until=mpiio_collective(
+                mounts, "/mpiio", "read",
+                region_bytes=region_bytes, transfer_bytes=transfer_bytes,
+            )
+        )
+        read_rate = r.extra["rate"]
+        write_rate = w.extra["rate"]
+        read_rates.append(read_rate)
+        write_rates.append(write_rate)
+        table.add_row(
+            [
+                count,
+                read_rate / 1e6,
+                write_rate / 1e6,
+                read_rate / count / 1e6,
+                read_rate / write_rate if write_rate else float("nan"),
+            ]
+        )
+    result.table = table
+    result.metrics["max_read"] = max(read_rates)
+    result.metrics["max_write"] = max(write_rates)
+    result.metrics["rw_gap_at_max"] = (
+        read_rates[-1] / write_rates[-1] if write_rates[-1] else float("nan")
+    )
+    result.metrics["read_scaling_4x"] = (
+        read_rates[min(2, len(read_rates) - 1)] / read_rates[0]
+    )
+    result.notes = (
+        f"{nsd_servers} NSD servers (GbE each), {ds4100_count} DS4100 bricks; "
+        "sweep re-runs on a fresh scenario per point"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.harness import format_result
+
+    print(format_result(run_fig11()))

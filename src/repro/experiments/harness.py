@@ -1,0 +1,66 @@
+"""Experiment result carrier and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.tables import Table
+from repro.util.timeseries import TimeSeries
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure/table."""
+
+    exp_id: str  # "E1" .. "A3"
+    title: str  # e.g. "Fig 2: SC'02 read performance"
+    paper_claim: str  # the number/shape the paper reports
+    table: Optional[Table] = None
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"experiment {self.exp_id} has no metric {name!r}; "
+                f"available: {sorted(self.metrics)}"
+            ) from None
+
+
+def sparkline(series: TimeSeries, width: int = 60) -> str:
+    """Terminal-friendly rendering of a rate trace."""
+    if series.empty:
+        return "(empty)"
+    t0, t1 = series.times[0], series.times[-1]
+    if t1 <= t0:
+        return "(single sample)"
+    import numpy as np
+
+    grid = [t0 + (t1 - t0) * i / (width - 1) for i in range(width)]
+    values = [series.value_at(t) for t in grid]
+    peak = max(values) or 1.0
+    blocks = " ▁▂▃▄▅▆▇█"
+    chars = [blocks[min(8, int(v / peak * 8.999))] for v in values]
+    return "".join(chars)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render an experiment for the terminal / EXPERIMENTS.md."""
+    lines = [
+        f"== {result.exp_id}: {result.title} ==",
+        f"paper: {result.paper_claim}",
+    ]
+    if result.metrics:
+        for name in sorted(result.metrics):
+            lines.append(f"  {name} = {result.metrics[name]:.4g}")
+    if result.table is not None:
+        lines.append(result.table.render())
+    for name, series in result.series.items():
+        lines.append(f"  {name}: {sparkline(series)}")
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)

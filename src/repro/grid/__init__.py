@@ -1,0 +1,30 @@
+"""Grid substrate: the staging model the paper argues against, plus the
+co-scheduler used at SC'04.
+
+* :mod:`repro.grid.gridftp`   — parallel-stream wholesale file transfer
+  (the pre-GFS mode of operation: "data required for the computation would
+  be moved to the chosen compute facility's local disk", §1)
+* :mod:`repro.grid.staging`   — stage-in → compute → stage-out job model,
+  and its direct-GFS-access counterpart, for the E7 comparison
+* :mod:`repro.grid.scheduler` — GUR-style co-reservation of compute + disk
+  ("Nodes scheduled using GUR", Fig 7), including the §1 failure mode:
+  "the computational system chosen may not be able to guarantee enough
+  room to receive a required dataset"
+"""
+
+from repro.grid.gridftp import GridFtp, GridFtpResult
+from repro.grid.staging import StagedJob, DirectGfsJob, JobReport, JobSpec
+from repro.grid.scheduler import GurScheduler, SiteResources, Reservation, ReservationError
+
+__all__ = [
+    "GridFtp",
+    "GridFtpResult",
+    "StagedJob",
+    "DirectGfsJob",
+    "JobReport",
+    "JobSpec",
+    "GurScheduler",
+    "SiteResources",
+    "Reservation",
+    "ReservationError",
+]

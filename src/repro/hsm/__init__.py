@@ -1,0 +1,28 @@
+"""Hierarchical Storage Management: tape archive behind the GFS.
+
+§8 of the paper: "we would like the GFS disk to form an integral part of a
+HSM, with an automatic migration of unused data to tape, and the automatic
+recall of requested data from deeper archive" — plus the copyright-library
+model where "SDSC and the Pittsburgh Supercomputing Center are already
+providing remote second copies for each other's archives".
+
+* :mod:`repro.hsm.tape`      — cartridges, drives, robots, the library
+* :mod:`repro.hsm.manager`   — migrate/recall, water-mark policy engine
+* :mod:`repro.hsm.replicate` — dual-copy remote archive replication
+"""
+
+from repro.hsm.tape import TapeCartridge, TapeDrive, TapeLibrary, TapeSpec, LTO2
+from repro.hsm.manager import HsmManager, MigrationPolicy, TransparentMount
+from repro.hsm.replicate import ArchiveReplicator
+
+__all__ = [
+    "TapeCartridge",
+    "TapeDrive",
+    "TapeLibrary",
+    "TapeSpec",
+    "LTO2",
+    "HsmManager",
+    "MigrationPolicy",
+    "TransparentMount",
+    "ArchiveReplicator",
+]

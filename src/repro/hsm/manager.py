@@ -1,0 +1,230 @@
+"""The HSM coordinator: migrate cold files to tape, recall on demand.
+
+The paper's preferred model (§8): "an automatic, algorithmic approach
+where data is migrated to tape storage as it is less used and recalled
+when needed". :class:`MigrationPolicy` is that algorithm — age threshold
+plus disk-occupancy water marks; :class:`HsmManager` executes it against a
+filesystem, using a privileged mount for data movement so the bytes on
+tape are the real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.core.client import MountedFs
+from repro.core.inode import Inode
+from repro.hsm.tape import TapeLibrary
+from repro.sim.kernel import Event
+
+
+class HsmError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """When to push file data to tape.
+
+    * ``min_age``: only files idle (atime) at least this long are eligible.
+    * ``high_water`` / ``low_water``: a policy run starts migrating when
+      disk occupancy exceeds ``high_water`` and stops once below
+      ``low_water`` (fractions of capacity).
+    * ``min_size``: skip tiny files (tape mounts cost more than they free).
+    """
+
+    min_age: float = 30 * 86400.0
+    high_water: float = 0.85
+    low_water: float = 0.70
+    min_size: int = 1
+    pin_paths: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low_water <= self.high_water <= 1:
+            raise ValueError("need 0 < low_water <= high_water <= 1")
+        if self.min_age < 0 or self.min_size < 0:
+            raise ValueError("min_age and min_size must be non-negative")
+
+
+class HsmManager:
+    """Migration/recall engine for one filesystem."""
+
+    def __init__(self, mount: MountedFs, library: TapeLibrary,
+                 policy: Optional[MigrationPolicy] = None) -> None:
+        self.mount = mount
+        self.fs = mount.fs
+        self.sim = mount.sim
+        self.library = library
+        self.policy = policy or MigrationPolicy()
+        self.migrated_files = 0
+        self.recalled_files = 0
+        self.migrated_bytes = 0.0
+        self.recalled_bytes = 0.0
+
+    # -- state queries ---------------------------------------------------------
+
+    def is_offline(self, path: str) -> bool:
+        return self.fs.namespace.resolve(path).hsm_offline is not None
+
+    def resident_fraction(self) -> float:
+        return self.fs.used_bytes / self.fs.capacity
+
+    # -- migrate ------------------------------------------------------------------
+
+    def migrate(self, path: str) -> Event:
+        """Push one file's data to tape and free its disk blocks."""
+        return self.sim.process(self._migrate(path), name=f"migrate:{path}")
+
+    def _migrate(self, path: str) -> Generator[Event, None, None]:
+        inode = self.fs.namespace.resolve(path)
+        if inode.is_dir:
+            raise HsmError(f"cannot migrate a directory: {path}")
+        if inode.hsm_offline is not None:
+            raise HsmError(f"{path} is already offline")
+        if inode.size == 0:
+            raise HsmError(f"{path} is empty; nothing to migrate")
+        # Read the file through the data plane (tape copy is a real copy).
+        handle = yield self.mount.open(path, "r")
+        data = yield self.mount.read(handle, inode.size)
+        yield self.mount.close(handle)
+        token = f"{self.fs.name}:{inode.ino}:{int(self.sim.now)}"
+        payload = data if self.fs.store_data else None
+        yield self.library.archive(token, float(inode.size), payload)
+        # Punch out the disk copy.
+        size = inode.size
+        self.fs.free_file_blocks(inode)
+        self.mount.pool.invalidate(inode.ino)
+        inode.hsm_offline = token
+        self.migrated_files += 1
+        self.migrated_bytes += size
+        return token
+
+    # -- recall --------------------------------------------------------------------
+
+    def recall(self, path: str) -> Event:
+        """Bring an offline file back to disk (no-op if already resident)."""
+        return self.sim.process(self._recall(path), name=f"recall:{path}")
+
+    def _recall(self, path: str) -> Generator[Event, None, None]:
+        inode = self.fs.namespace.resolve(path)
+        if inode.hsm_offline is None:
+            yield self.sim.timeout(0.0)
+            return False
+        token = inode.hsm_offline
+        payload, length = yield self.library.retrieve(token)
+        size = inode.size
+        inode.hsm_offline = None  # writable again before the data lands
+        handle = yield self.mount.open(path, "r+")
+        if payload is not None:
+            yield self.mount.pwrite(handle, 0, payload)
+        else:
+            yield self.mount.pwrite(handle, 0, int(length))
+        yield self.mount.close(handle)
+        inode.size = size
+        self.recalled_files += 1
+        self.recalled_bytes += size
+        return True
+
+    def ensure_online(self, path: str) -> Event:
+        """Transparent-access helper: recall iff offline."""
+        return self.recall(path)
+
+    def transparent(self, mount: MountedFs) -> "TransparentMount":
+        """Wrap a mount so opens recall offline files automatically —
+        §8's "automatic recall of requested data from deeper archive"."""
+        return TransparentMount(mount, self)
+
+    # -- policy runs ------------------------------------------------------------------
+
+    def eligible_files(self) -> List[str]:
+        """Paths eligible for migration under the policy, oldest-atime first."""
+        policy = self.policy
+        now = self.sim.now
+        out = []
+        for path in self.fs.namespace.walk():
+            inode = self.fs.namespace.resolve(path)
+            if inode.is_dir or inode.hsm_offline is not None:
+                continue
+            if inode.size < policy.min_size:
+                continue
+            if path in policy.pin_paths:
+                continue
+            if now - inode.atime < policy.min_age:
+                continue
+            out.append((inode.atime, path))
+        out.sort()
+        return [path for _, path in out]
+
+    def run_policy(self) -> Event:
+        """One policy sweep; value is the list of migrated paths."""
+        return self.sim.process(self._run_policy(), name="hsm-policy")
+
+    def periodic_policy(self, interval: float) -> Event:
+        """Run the policy every ``interval`` seconds, forever.
+
+        Returns the daemon process; interrupt it to stop. This is the §8
+        "automatic, algorithmic approach where data is migrated to tape
+        storage as it is less used" running unattended.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def _daemon():
+            from repro.sim.kernel import Interrupt
+
+            try:
+                while True:
+                    yield self.sim.timeout(interval)
+                    yield self.run_policy()
+            except Interrupt:
+                return None
+
+        return self.sim.process(_daemon(), name="hsm-daemon")
+
+    def _run_policy(self) -> Generator[Event, None, None]:
+        migrated: List[str] = []
+        if self.resident_fraction() < self.policy.high_water:
+            yield self.sim.timeout(0.0)
+            return migrated
+        for path in self.eligible_files():
+            if self.resident_fraction() <= self.policy.low_water:
+                break
+            yield self.migrate(path)
+            migrated.append(path)
+        return migrated
+
+
+class TransparentMount:
+    """A mount proxy whose :meth:`open` recalls offline files first.
+
+    Everything else delegates to the wrapped :class:`MountedFs`, so the
+    proxy can be handed to any workload.
+    """
+
+    def __init__(self, mount: MountedFs, hsm: HsmManager) -> None:
+        if mount.fs is not hsm.fs:
+            raise ValueError("mount and HSM manager serve different filesystems")
+        self._mount = mount
+        self._hsm = hsm
+        self.recalls_triggered = 0
+
+    def open(self, path: str, mode: str = "r", create: bool = False) -> Event:
+        sim = self._mount.sim
+
+        def _proc():
+            try:
+                inode = self._mount.fs.namespace.resolve(path)
+                offline = inode.hsm_offline is not None
+            except Exception:
+                offline = False
+            if offline:
+                self.recalls_triggered += 1
+                yield self._hsm.recall(path)
+            handle = yield self._mount.open(path, mode, create)
+            return handle
+
+        return sim.process(_proc(), name=f"hsm-open:{path}")
+
+    def __getattr__(self, name):
+        return getattr(self._mount, name)

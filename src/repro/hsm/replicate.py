@@ -1,0 +1,88 @@
+"""Dual-copy archive replication between sites.
+
+§8: "SDSC and the Pittsburgh Supercomputing Center are already providing
+remote second copies for each other's archives" — the copyright-library
+model. The replicator copies archived segments from a local library to a
+partner site's library over the WAN, and can restore from the partner
+after a local catastrophe.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.hsm.tape import TapeLibrary
+from repro.net.flow import FlowEngine
+from repro.sim.kernel import Event, Simulation
+
+
+class ArchiveReplicator:
+    """Mirrors archive segments between two sites' libraries."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        engine: FlowEngine,
+        local: TapeLibrary,
+        remote: TapeLibrary,
+        local_node: str,
+        remote_node: str,
+    ) -> None:
+        self.sim = sim
+        self.engine = engine
+        self.local = local
+        self.remote = remote
+        self.local_node = local_node
+        self.remote_node = remote_node
+        self.replicated_segments = 0
+        self.replicated_bytes = 0.0
+
+    def pending(self) -> List[str]:
+        """Segments in the local catalog missing at the partner."""
+        return [t for t in self.local._catalog if not self.remote.has(t)]
+
+    def replicate(self, token: str) -> Event:
+        """Copy one segment: tape read → WAN flow → partner tape write."""
+        if not self.local.has(token):
+            raise KeyError(f"segment {token!r} not in local library")
+        if self.remote.has(token):
+            raise ValueError(f"segment {token!r} already replicated")
+        return self.sim.process(self._replicate(token), name=f"repl:{token}")
+
+    def _replicate(self, token: str) -> Generator[Event, None, None]:
+        payload, length = yield self.local.retrieve(token)
+        yield self.engine.transfer(
+            self.local_node, self.remote_node, length, tags=("archive-repl",)
+        )
+        yield self.remote.archive(token, length, payload)
+        self.replicated_segments += 1
+        self.replicated_bytes += length
+
+    def replicate_all(self) -> Event:
+        """Drain the pending list; value is the number of segments copied."""
+        return self.sim.process(self._replicate_all(), name="repl-all")
+
+    def _replicate_all(self) -> Generator[Event, None, None]:
+        count = 0
+        pending = self.pending()
+        if not pending:
+            yield self.sim.timeout(0.0)
+        for token in pending:
+            yield self.replicate(token)
+            count += 1
+        return count
+
+    def restore(self, token: str) -> Event:
+        """Disaster recovery: pull a segment back from the partner site."""
+        if not self.remote.has(token):
+            raise KeyError(f"segment {token!r} not at partner site")
+        return self.sim.process(self._restore(token), name=f"restore:{token}")
+
+    def _restore(self, token: str) -> Generator[Event, None, None]:
+        payload, length = yield self.remote.retrieve(token)
+        yield self.engine.transfer(
+            self.remote_node, self.local_node, length, tags=("archive-restore",)
+        )
+        if not self.local.has(token):
+            yield self.local.archive(token, length, payload)
+        return (payload, length)

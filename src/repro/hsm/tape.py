@@ -1,0 +1,178 @@
+"""Tape cartridges, drives, and the robotic library.
+
+2005-era numbers (the paper's machine room ran STK silos with "6 PB,
+30 MB/s per drive" per Fig 1): a mount costs robot movement plus load and
+thread time, a seek to a file costs tens of seconds, and streaming then
+runs at the drive's native rate. These latencies are what make HSM recall
+behaviour qualitatively different from disk and worth simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.sim.kernel import Event, Simulation
+from repro.sim.resources import Resource
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True)
+class TapeSpec:
+    name: str
+    capacity: float
+    rate: float  # streaming bytes/s
+    load_time: float  # robot fetch + load + thread
+    seek_time: float  # average position-to-file time
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.rate <= 0:
+            raise ValueError("capacity and rate must be positive")
+        if self.load_time < 0 or self.seek_time < 0:
+            raise ValueError("times must be non-negative")
+
+
+#: LTO-2 class drive, as deployed at SDSC in the paper's era.
+LTO2 = TapeSpec(
+    name="lto2",
+    capacity=GB(200),
+    rate=MB(30),
+    load_time=75.0,
+    seek_time=45.0,
+)
+
+
+@dataclass
+class TapeCartridge:
+    """One cartridge: a label and the archived segments it carries."""
+
+    label: str
+    spec: TapeSpec
+    used: float = 0.0
+    #: segment token → (offset, length); contents live in the HSM catalog
+    segments: Dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def free(self) -> float:
+        return self.spec.capacity - self.used
+
+    def append(self, token: str, length: float) -> None:
+        if length > self.free:
+            raise ValueError(f"cartridge {self.label} full")
+        if token in self.segments:
+            raise ValueError(f"duplicate segment token {token!r}")
+        self.segments[token] = (self.used, length)
+        self.used += length
+
+    def has(self, token: str) -> bool:
+        return token in self.segments
+
+
+class TapeDrive:
+    """One drive: serves one mounted cartridge at a time."""
+
+    def __init__(self, sim: Simulation, spec: TapeSpec, name: str = "drive") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.mounted: Optional[TapeCartridge] = None
+        self._res = Resource(sim, capacity=1, name=name)
+        self.bytes_io = 0.0
+        self.mounts = 0
+
+    def io(self, cartridge: TapeCartridge, nbytes: float, kind: str) -> Event:
+        """Mount (if needed), seek, stream ``nbytes``."""
+        if kind not in ("read", "write"):
+            raise ValueError(f"kind must be read or write, got {kind!r}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.sim.process(self._io(cartridge, nbytes), name=f"{self.name}-io")
+
+    def _io(self, cartridge: TapeCartridge, nbytes: float) -> Generator[Event, None, None]:
+        with self._res.request() as req:
+            yield req
+            if self.mounted is not cartridge:
+                # unload previous + robot + load
+                yield self.sim.timeout(self.spec.load_time)
+                self.mounted = cartridge
+                self.mounts += 1
+            yield self.sim.timeout(self.spec.seek_time + nbytes / self.spec.rate)
+            self.bytes_io += nbytes
+
+
+class TapeLibrary:
+    """A silo: drives, cartridges, and an append-allocation policy."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: TapeSpec = LTO2,
+        drives: int = 2,
+        cartridges: int = 100,
+        name: str = "silo",
+    ) -> None:
+        if drives < 1 or cartridges < 1:
+            raise ValueError("need at least one drive and one cartridge")
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.drives = [TapeDrive(sim, spec, name=f"{name}.dr{i}") for i in range(drives)]
+        self.cartridges: List[TapeCartridge] = [
+            TapeCartridge(label=f"{name}.t{i:05d}", spec=spec) for i in range(cartridges)
+        ]
+        self._next_drive = 0
+        self._catalog: Dict[str, TapeCartridge] = {}
+        self._payloads: Dict[str, Optional[bytes]] = {}
+
+    @property
+    def capacity(self) -> float:
+        return len(self.cartridges) * self.spec.capacity
+
+    @property
+    def used(self) -> float:
+        return sum(c.used for c in self.cartridges)
+
+    def _pick_drive(self, cartridge: TapeCartridge) -> TapeDrive:
+        # Prefer a drive that already has the cartridge mounted.
+        for drive in self.drives:
+            if drive.mounted is cartridge:
+                return drive
+        drive = self.drives[self._next_drive % len(self.drives)]
+        self._next_drive += 1
+        return drive
+
+    def archive(self, token: str, length: float, payload: Optional[bytes] = None) -> Event:
+        """Write a segment to tape; fires when on media."""
+        if token in self._catalog:
+            raise ValueError(f"segment {token!r} already archived")
+        cartridge = next((c for c in self.cartridges if c.free >= length), None)
+        if cartridge is None:
+            raise ValueError(f"library {self.name} out of tape")
+        cartridge.append(token, length)
+        self._catalog[token] = cartridge
+        self._payloads[token] = payload
+        drive = self._pick_drive(cartridge)
+        return drive.io(cartridge, length, "write")
+
+    def retrieve(self, token: str) -> Event:
+        """Read a segment back; the event's value is (payload, length)."""
+        cartridge = self._catalog.get(token)
+        if cartridge is None:
+            raise KeyError(f"segment {token!r} not in library {self.name}")
+        _, length = cartridge.segments[token]
+        drive = self._pick_drive(cartridge)
+        done = self.sim.event(name=f"retrieve:{token}")
+
+        def _proc():
+            yield drive.io(cartridge, length, "read")
+            done.succeed((self._payloads.get(token), length))
+
+        self.sim.process(_proc(), name="retrieve")
+        return done
+
+    def has(self, token: str) -> bool:
+        return token in self._catalog
+
+    def segment_length(self, token: str) -> float:
+        cartridge = self._catalog[token]
+        return cartridge.segments[token][1]

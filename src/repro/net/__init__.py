@@ -1,0 +1,37 @@
+"""Flow-level (fluid) network simulation.
+
+The paper's evaluation is entirely about sustained TCP throughput across
+shared WAN paths (SCinet/TeraGrid links), so the network model is a fluid
+one: a transfer is a :class:`~repro.net.flow.Flow` occupying a path of
+:class:`~repro.net.link.Link` objects; whenever the set of active flows
+changes, link bandwidth is re-divided max-min-fairly subject to each flow's
+TCP rate cap (window/RTT and Mathis loss limits — :mod:`repro.net.tcp`).
+
+This reproduces the three phenomena the paper measures:
+
+* a single TCP stream collapses with RTT (window-limited),
+* many parallel NSD streams aggregate to ~line rate despite 80 ms RTT,
+* co-located flows share bottleneck links fairly (SC'04's three 10 GbE
+  links each carrying 7–9 Gb/s).
+"""
+
+from repro.net.tcp import TcpModel
+from repro.net.link import Link
+from repro.net.topology import Network, NetNode
+from repro.net.flow import Flow, FlowEngine
+from repro.net.fairshare import max_min_rates
+from repro.net.fcip import FcipTunnel, add_fcip_tunnel
+from repro.net.message import MessageService
+
+__all__ = [
+    "TcpModel",
+    "Link",
+    "Network",
+    "NetNode",
+    "Flow",
+    "FlowEngine",
+    "max_min_rates",
+    "FcipTunnel",
+    "add_fcip_tunnel",
+    "MessageService",
+]

@@ -1,0 +1,279 @@
+"""Fluid flows and the flow engine.
+
+A :class:`Flow` is ``nbytes`` moving along a routed path. The
+:class:`FlowEngine` keeps the set of active flows; whenever it changes, it
+re-solves max-min fair rates (:func:`repro.net.fairshare.max_min_rates`)
+with each flow capped by its TCP model, advances everyone's residual bytes,
+and schedules the next completion. Changes within one simulation instant
+coalesce into a single re-solve.
+
+Tags: each transfer may carry string tags ("wan", "sdsc->ncsa", ...); the
+engine maintains an exact piecewise-constant aggregate-rate series per tag —
+this is what the figure harnesses plot (e.g. the three SCinet link traces of
+Fig 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.net.fairshare import max_min_rates
+from repro.net.tcp import TcpModel
+from repro.net.topology import Network
+from repro.sim.kernel import Event, Simulation
+from repro.util.timeseries import TimeSeries
+from repro.util.units import GB
+
+#: Residual-bytes slack treated as "finished" (guards float drift).
+_DONE_EPS_SECONDS = 1e-9
+
+
+class Flow:
+    """One in-flight transfer."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "size",
+        "remaining",
+        "rate",
+        "cap",
+        "path_ids",
+        "one_way_delay",
+        "tags",
+        "done",
+        "last_update",
+        "start_time",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        cap: float,
+        path_ids: Sequence[int],
+        one_way_delay: float,
+        tags: tuple[str, ...],
+        done: Event,
+        now: float,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.cap = cap
+        self.path_ids = list(path_ids)
+        self.one_way_delay = one_way_delay
+        self.tags = tags
+        self.done = done
+        self.last_update = now
+        self.start_time = now
+        self.seq = -1  # assigned by the engine for deterministic ordering
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Flow {self.src}->{self.dst} {self.remaining:.3g}/{self.size:.3g}B "
+            f"@{self.rate:.3g}B/s>"
+        )
+
+
+class FlowEngine:
+    """Shared-bandwidth transfer service over one :class:`Network`."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        network: Network,
+        local_rate: float = GB(2.0),
+        default_tcp: Optional[TcpModel] = None,
+    ) -> None:
+        """``local_rate`` bounds same-node (loopback/memory) transfers."""
+        if local_rate <= 0:
+            raise ValueError("local_rate must be positive")
+        self.sim = sim
+        self.network = network
+        self.local_rate = local_rate
+        self.default_tcp = default_tcp or TcpModel()
+        self.flows: Set[Flow] = set()
+        self.bytes_moved = 0.0
+        self.completed_flows = 0
+        self._tag_series: Dict[str, TimeSeries] = {}
+        self._recompute_pending = False
+        self._timer_token = 0
+        self._next_seq = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        tcp: Optional[TcpModel] = None,
+        cap: Optional[float] = None,
+        tags: Iterable[str] = (),
+    ) -> Event:
+        """Start moving ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that fires (with the :class:`Flow`) when the last
+        byte *arrives* at ``dst`` — i.e. after the path drains plus one-way
+        propagation delay.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        tcp = tcp or self.default_tcp
+        links = self.network.path(src, dst)
+        delay = sum(l.delay for l in links)
+        rtt = self.network.rtt(src, dst) if links else 0.0
+        flow_cap = tcp.rate_cap(rtt)
+        if cap is not None:
+            flow_cap = min(flow_cap, cap)
+        if not links:
+            flow_cap = min(flow_cap, self.local_rate)
+        done = self.sim.event(name=f"xfer:{src}->{dst}")
+        flow = Flow(
+            src,
+            dst,
+            nbytes,
+            flow_cap,
+            [l.index for l in links],
+            delay,
+            tuple(tags),
+            done,
+            self.sim.now,
+        )
+        flow.seq = self._next_seq
+        self._next_seq += 1
+        if nbytes == 0:
+            self.sim.schedule_callback(delay, lambda: done.succeed(flow))
+            return done
+        self.flows.add(flow)
+        self._mark_dirty()
+        return done
+
+    def tag_rate_series(self, tag: str) -> TimeSeries:
+        """Exact aggregate-rate trace (bytes/s) for flows carrying ``tag``."""
+        series = self._tag_series.get(tag)
+        if series is None:
+            series = TimeSeries(name=tag)
+            self._tag_series[tag] = series
+        return series
+
+    @property
+    def active_count(self) -> int:
+        return len(self.flows)
+
+    def poke(self) -> None:
+        """Force a rate recompute at the current instant.
+
+        Use after mutating link capacities (`Link.set_rate`) so active
+        flows see the change immediately instead of at their next natural
+        arrival/departure.
+        """
+        self._mark_dirty()
+
+    def link_utilization(self) -> dict:
+        """Instantaneous per-link used fraction (diagnostics).
+
+        Keyed by link name; only links carrying at least one active flow
+        appear.
+        """
+        used: Dict[int, float] = {}
+        for flow in self.flows:
+            for link_id in flow.path_ids:
+                used[link_id] = used.get(link_id, 0.0) + flow.rate
+        out = {}
+        for link_id, rate in used.items():
+            link = self.network.links[link_id]
+            out[link.name] = rate / link.usable_rate
+        return out
+
+    # -- engine internals -------------------------------------------------------
+
+    def _mark_dirty(self) -> None:
+        if self._recompute_pending:
+            return
+        self._recompute_pending = True
+        self.sim.schedule_callback(0.0, self._recompute, name="flow-recompute")
+
+    def _advance_residuals(self, now: float) -> None:
+        for f in self.flows:
+            if now > f.last_update:
+                f.remaining = max(0.0, f.remaining - f.rate * (now - f.last_update))
+            f.last_update = now
+
+    def _recompute(self) -> None:
+        self._recompute_pending = False
+        now = self.sim.now
+        self._advance_residuals(now)
+        self._finish_drained(now)
+        if self.flows:
+            order = sorted(self.flows, key=lambda f: f.seq)
+            caps = self.network.link_capacities()
+            rates = max_min_rates(
+                caps,
+                [f.path_ids for f in order],
+                [f.cap for f in order],
+            )
+            for f, r in zip(order, rates):
+                f.rate = float(r)
+        self._snapshot_tags(now)
+        self._schedule_next_completion(now)
+
+    def _finish_drained(self, now: float) -> None:
+        drained = [f for f in self.flows if f.remaining <= f.rate * _DONE_EPS_SECONDS or f.remaining <= 1e-6]
+        for f in drained:
+            self.flows.remove(f)
+            f.rate = 0.0
+            f.remaining = 0.0
+            self.bytes_moved += f.size
+            self.completed_flows += 1
+            if f.one_way_delay > 0:
+                self.sim.schedule_callback(
+                    f.one_way_delay, lambda f=f: f.done.succeed(f), name="flow-arrive"
+                )
+            else:
+                f.done.succeed(f)
+
+    def _snapshot_tags(self, now: float) -> None:
+        if not self._tag_series:
+            # Lazily create series only for tags in use.
+            for f in self.flows:
+                for tag in f.tags:
+                    self.tag_rate_series(tag)
+        if not self._tag_series:
+            return
+        totals = {tag: 0.0 for tag in self._tag_series}
+        for f in self.flows:
+            for tag in f.tags:
+                if tag not in totals:
+                    totals[tag] = 0.0
+                totals[tag] += f.rate
+        for tag, total in totals.items():
+            self.tag_rate_series(tag).add(now, total)
+
+    def _schedule_next_completion(self, now: float) -> None:
+        self._timer_token += 1
+        if not self.flows:
+            return
+        token = self._timer_token
+        horizon = math.inf
+        for f in self.flows:
+            if f.rate > 0:
+                horizon = min(horizon, f.remaining / f.rate)
+        if not math.isfinite(horizon):
+            raise RuntimeError(
+                "active flows with zero rate — network has no capacity for them"
+            )
+        self.sim.schedule_callback(
+            max(horizon, 0.0), lambda: self._on_timer(token), name="flow-finish"
+        )
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # superseded by a newer schedule
+        self._recompute()

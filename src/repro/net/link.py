@@ -1,0 +1,61 @@
+"""Unidirectional network links.
+
+A :class:`Link` is one direction of a physical connection: capacity in
+bytes/second, propagation delay in seconds, and a framing ``efficiency``
+factor (usable fraction after Ethernet/IP/TCP framing — ~0.94 on GbE with
+standard frames, higher with jumbo frames). The fluid flow engine divides
+``usable_rate`` among active flows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Link:
+    """One direction of a network link."""
+
+    __slots__ = ("name", "src", "dst", "rate", "delay", "efficiency", "index")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        rate: float,
+        delay: float = 0.0,
+        efficiency: float = 0.94,
+        name: Optional[str] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"link rate must be positive, got {rate}")
+        if delay < 0:
+            raise ValueError(f"link delay must be non-negative, got {delay}")
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        self.src = src
+        self.dst = dst
+        self.rate = float(rate)
+        self.delay = float(delay)
+        self.efficiency = float(efficiency)
+        self.name = name or f"{src}->{dst}"
+        #: Index into the engine's capacity vector; assigned by Network.
+        self.index: int = -1
+
+    @property
+    def usable_rate(self) -> float:
+        """Capacity available to payload bytes (after framing overhead)."""
+        return self.rate * self.efficiency
+
+    def set_rate(self, rate: float) -> None:
+        """Change the link's capacity (brownout / upgrade / failover).
+
+        Active flows adapt at the flow engine's next recompute — callers
+        that need the change to take effect immediately should touch the
+        flow set (the engine re-reads capacities on every solve).
+        """
+        if rate <= 0:
+            raise ValueError(f"link rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.rate:.3g} B/s delay={self.delay}>"

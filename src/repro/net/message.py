@@ -1,0 +1,60 @@
+"""Small control-message transport (RPC requests, acks, token traffic).
+
+Control messages are tiny compared to data blocks, so they do not enter the
+fluid bandwidth solver; a message takes one-way propagation delay plus
+serialization at the path bottleneck. This keeps GPFS token/metadata chatter
+cheap to simulate while still charging WAN latency where the paper's
+multi-cluster protocol pays it (mount handshakes, lock revocations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.topology import Network
+from repro.sim.kernel import Event, Simulation
+
+
+class MessageService:
+    """Latency-accurate, bandwidth-free delivery of small messages."""
+
+    def __init__(self, sim: Simulation, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.messages_sent = 0
+
+    def delivery_time(self, src: str, dst: str, nbytes: float = 1024.0) -> float:
+        """One-way latency for a message of ``nbytes``."""
+        if src == dst:
+            return 1e-6  # local daemon hop
+        delay = self.network.one_way_delay(src, dst)
+        bottleneck = self.network.bottleneck_rate(src, dst)
+        return delay + nbytes / bottleneck
+
+    def send(self, src: str, dst: str, payload=None, nbytes: float = 1024.0) -> Event:
+        """Deliver ``payload`` to ``dst``; event fires with the payload."""
+        self.messages_sent += 1
+        evt = self.sim.event(name=f"msg:{src}->{dst}")
+        self.sim.schedule_callback(
+            self.delivery_time(src, dst, nbytes), lambda: evt.succeed(payload)
+        )
+        return evt
+
+    def round_trip(
+        self,
+        src: str,
+        dst: str,
+        request_bytes: float = 1024.0,
+        reply_bytes: float = 1024.0,
+        service_time: float = 0.0,
+    ) -> Event:
+        """Request → (service) → reply; fires after the reply arrives."""
+        total = (
+            self.delivery_time(src, dst, request_bytes)
+            + service_time
+            + self.delivery_time(dst, src, reply_bytes)
+        )
+        self.messages_sent += 2
+        evt = self.sim.event(name=f"rpc:{src}<->{dst}")
+        self.sim.schedule_callback(total, lambda: evt.succeed(None))
+        return evt

@@ -1,0 +1,169 @@
+"""Network graph: nodes, duplex links, shortest-path routing.
+
+A :class:`Network` is a static directed graph of named nodes. Hosts hang off
+switches via NIC links; WAN trunks connect switches/routers. Routing is
+Dijkstra by propagation delay (hop count as tiebreak), computed on demand
+and cached — the paper's topologies are static for the life of a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.link import Link
+
+
+class RoutingError(KeyError):
+    """No path between two nodes."""
+
+
+@dataclass
+class NetNode:
+    """A named network endpoint (host, switch, or router)."""
+
+    name: str
+    site: str = ""
+    kind: str = "host"  # host | switch | router
+    meta: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class Network:
+    """Static topology + routing."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, NetNode] = {}
+        self.links: List[Link] = []
+        self._adj: Dict[str, List[Link]] = {}
+        self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, name: str, site: str = "", kind: str = "host", **meta) -> NetNode:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        node = NetNode(name=name, site=site, kind=kind, meta=meta)
+        self.nodes[name] = node
+        self._adj[name] = []
+        return node
+
+    def node(self, name: str) -> NetNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise RoutingError(f"unknown node {name!r}") from None
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        rate: float,
+        delay: float = 0.0,
+        efficiency: float = 0.94,
+        duplex: bool = True,
+        rate_back: Optional[float] = None,
+    ) -> Tuple[Link, Optional[Link]]:
+        """Connect ``a`` → ``b`` (and back when ``duplex``). Returns the link(s)."""
+        self.node(a), self.node(b)  # existence check
+        fwd = Link(a, b, rate, delay, efficiency)
+        self._register(fwd)
+        back = None
+        if duplex:
+            back = Link(b, a, rate_back if rate_back is not None else rate, delay, efficiency)
+            self._register(back)
+        self._path_cache.clear()
+        return fwd, back
+
+    def _register(self, link: Link) -> None:
+        link.index = len(self.links)
+        self.links.append(link)
+        self._adj[link.src].append(link)
+
+    def add_host(
+        self,
+        name: str,
+        switch: str,
+        nic_rate: float,
+        site: str = "",
+        nic_delay: float = 20e-6,
+        efficiency: float = 0.94,
+        **meta,
+    ) -> NetNode:
+        """Convenience: create a host and its NIC link to ``switch``."""
+        node = self.add_node(name, site=site, kind="host", **meta)
+        self.add_link(name, switch, nic_rate, delay=nic_delay, efficiency=efficiency)
+        return node
+
+    # -- routing ---------------------------------------------------------------
+
+    def path(self, src: str, dst: str) -> List[Link]:
+        """Directed link path src → dst (empty for src == dst)."""
+        if src == dst:
+            self.node(src)
+            return []
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        self.node(src), self.node(dst)
+        # Dijkstra by (delay, hops).
+        dist: Dict[str, Tuple[float, int]] = {src: (0.0, 0)}
+        prev: Dict[str, Link] = {}
+        heap: List[Tuple[float, int, str]] = [(0.0, 0, src)]
+        visited: set[str] = set()
+        while heap:
+            d, h, u = heapq.heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            if u == dst:
+                break
+            for link in self._adj[u]:
+                v = link.dst
+                nd, nh = d + link.delay, h + 1
+                if v not in dist or (nd, nh) < dist[v]:
+                    dist[v] = (nd, nh)
+                    prev[v] = link
+                    heapq.heappush(heap, (nd, nh, v))
+        if dst not in prev:
+            raise RoutingError(f"no route {src!r} -> {dst!r}")
+        links: List[Link] = []
+        cur = dst
+        while cur != src:
+            link = prev[cur]
+            links.append(link)
+            cur = link.src
+        links.reverse()
+        self._path_cache[key] = links
+        return links
+
+    def one_way_delay(self, src: str, dst: str) -> float:
+        """Sum of propagation delays on the routed path."""
+        return sum(link.delay for link in self.path(src, dst))
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip propagation delay (both directions routed)."""
+        return self.one_way_delay(src, dst) + self.one_way_delay(dst, src)
+
+    def bottleneck_rate(self, src: str, dst: str) -> float:
+        """Min usable link rate on the path (inf for loopback)."""
+        links = self.path(src, dst)
+        if not links:
+            return float("inf")
+        return min(link.usable_rate for link in links)
+
+    def hosts(self, site: Optional[str] = None) -> List[NetNode]:
+        """All host nodes, optionally filtered by site."""
+        return [
+            n
+            for n in self.nodes.values()
+            if n.kind == "host" and (site is None or n.site == site)
+        ]
+
+    def link_capacities(self) -> List[float]:
+        """Usable capacity vector indexed by link id (for the flow engine)."""
+        return [link.usable_rate for link in self.links]

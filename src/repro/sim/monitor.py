@@ -1,0 +1,60 @@
+"""Simulation-time instrumentation.
+
+:class:`Monitor` bundles the rate meters and gauges an experiment registers,
+stamped with the simulation clock; the experiment harnesses read figures out
+of it at the end of a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.kernel import Simulation
+from repro.util.timeseries import RateMeter, TimeSeries
+
+
+class Gauge:
+    """A sampled scalar (queue depth, cache occupancy) over sim time."""
+
+    def __init__(self, sim: Simulation, name: str = "") -> None:
+        self.sim = sim
+        self.series = TimeSeries(name=name)
+
+    def set(self, value: float) -> None:
+        self.series.add(self.sim.now, value)
+
+    def last(self) -> float:
+        if self.series.empty:
+            raise ValueError(f"gauge {self.series.name!r} never set")
+        return self.series.values[-1]
+
+
+class Monitor:
+    """Named rate meters + gauges bound to one simulation."""
+
+    def __init__(self, sim: Simulation, window: float = 1.0) -> None:
+        self.sim = sim
+        self.window = window
+        self.meters: Dict[str, RateMeter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+
+    def meter(self, name: str, window: float | None = None) -> RateMeter:
+        m = self.meters.get(name)
+        if m is None:
+            m = RateMeter(window=window or self.window, name=name)
+            self.meters[name] = m
+        return m
+
+    def record_bytes(self, name: str, nbytes: float) -> None:
+        """Record ``nbytes`` completed now on meter ``name``."""
+        self.meter(name).record(self.sim.now, nbytes)
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = Gauge(self.sim, name=name)
+            self.gauges[name] = g
+        return g
+
+    def rate_series(self, name: str, t_end: float | None = None) -> TimeSeries:
+        return self.meter(name).series(t_end if t_end is not None else self.sim.now)

@@ -1,0 +1,241 @@
+"""Queued resources: servers, stores, and level containers.
+
+* :class:`Resource` — ``capacity`` concurrent holders, FIFO waiters. Models
+  disk queues, HBA ports, tape drives.
+* :class:`PriorityResource` — like Resource but waiters carry a priority
+  (lower first); used by the token manager so revocations pass new requests.
+* :class:`Store` — FIFO of items; models mailboxes / RPC queues.
+* :class:`Container` — continuous level with put/get; models disk-space
+  accounting and HSM watermarks.
+
+All acquisition methods return events suitable for ``yield`` inside a
+process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.kernel import Event, Simulation, SimulationError
+
+
+class Request(Event):
+    """A pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` concurrent holders with a FIFO wait queue."""
+
+    def __init__(self, sim: Simulation, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Acquire a slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a held or queued request."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                raise SimulationError(
+                    f"release of unknown request on resource {self.name!r}"
+                ) from None
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityRequest(Request):
+    __slots__ = ("priority", "_order")
+
+    def __init__(self, resource: "PriorityResource", priority: int, order: int) -> None:
+        super().__init__(resource)
+        self.priority = priority
+        self._order = order
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-number first."""
+
+    def __init__(self, sim: Simulation, capacity: int = 1, name: str = "presource") -> None:
+        super().__init__(sim, capacity, name)
+        self._pqueue: list[PriorityRequest] = []
+        self._order = itertools.count()
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        req = PriorityRequest(self, priority, next(self._order))
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self._pqueue, req)
+        return req
+
+    def release(self, request: Request) -> None:  # type: ignore[override]
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self._pqueue.remove(request)  # type: ignore[arg-type]
+                heapq.heapify(self._pqueue)
+            except ValueError:
+                raise SimulationError(
+                    f"release of unknown request on resource {self.name!r}"
+                ) from None
+
+    def _grant_next(self) -> None:
+        while self._pqueue and len(self.users) < self.capacity:
+            nxt = heapq.heappop(self._pqueue)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """Unbounded-or-bounded FIFO of Python objects."""
+
+    def __init__(self, sim: Simulation, capacity: float = float("inf"), name: str = "store") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; event fires when the item is accepted."""
+        evt = Event(self.sim, name=f"put:{self.name}")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            evt.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            evt.succeed()
+        else:
+            self._putters.append((evt, item))
+        return evt
+
+    def get(self) -> Event:
+        """Remove the oldest item; event fires with the item."""
+        evt = Event(self.sim, name=f"get:{self.name}")
+        if self.items:
+            evt.succeed(self.items.popleft())
+            if self._putters:
+                putter, item = self._putters.popleft()
+                self.items.append(item)
+                putter.succeed()
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous level in ``[0, capacity]`` with blocking put/get."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init level out of range")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        evt = Event(self.sim, name=f"put:{self.name}")
+        self._putters.append((evt, amount))
+        self._settle()
+        return evt
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if amount > self.capacity:
+            raise ValueError(f"get({amount}) exceeds capacity {self.capacity}")
+        evt = Event(self.sim, name=f"get:{self.name}")
+        self._getters.append((evt, amount))
+        self._settle()
+        return evt
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                evt, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    evt.succeed()
+                    progress = True
+            if self._getters:
+                evt, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    evt.succeed(amount)
+                    progress = True

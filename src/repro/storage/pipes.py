@@ -1,0 +1,62 @@
+"""Rate-limited service stages.
+
+A :class:`Pipe` is the building block of the storage path: a stage that
+serves one request at a time (or ``capacity`` in parallel) at a fixed
+byte rate with optional per-IO latency. Chaining pipes gives additive
+latency and bottleneck-limited throughput, which is exactly the
+balanced-configuration arithmetic the paper applies to its NSD servers
+(GbE in, FC out, controller behind).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.kernel import Event, Simulation
+from repro.sim.resources import Resource
+
+
+class Pipe:
+    """A queued, rate-limited stage."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rate: float,
+        per_io_latency: float = 0.0,
+        capacity: int = 1,
+        name: str = "pipe",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"pipe rate must be positive, got {rate}")
+        if per_io_latency < 0:
+            raise ValueError("per_io_latency must be non-negative")
+        self.sim = sim
+        self.rate = float(rate)
+        self.per_io_latency = float(per_io_latency)
+        self.name = name
+        self._res = Resource(sim, capacity=capacity, name=name)
+        self.bytes_served = 0.0
+        self.ios_served = 0
+
+    def service_time(self, nbytes: float) -> float:
+        """Time to serve ``nbytes`` once granted."""
+        return self.per_io_latency + nbytes / self.rate
+
+    def transfer(self, nbytes: float) -> Event:
+        """Queue ``nbytes`` through the stage; fires when served."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.sim.process(self._serve(nbytes), name=f"{self.name}-xfer")
+
+    def _serve(self, nbytes: float) -> Generator[Event, None, None]:
+        with self._res.request() as req:
+            yield req
+            yield self.sim.timeout(self.service_time(nbytes))
+        self.bytes_served += nbytes
+        self.ios_served += 1
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting (not being served)."""
+        return len(self._res.queue)

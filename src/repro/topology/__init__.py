@@ -1,0 +1,36 @@
+"""Prebuilt scenarios: the paper's deployments, one builder per section.
+
+* :mod:`repro.topology.sc02`     — SC'02 Baltimore: QFS/SANergy over FCIP
+  hardware encoding, 80 ms RTT (paper §2, Figs 1–2)
+* :mod:`repro.topology.sc03`     — SC'03 Phoenix: first native WAN-GPFS,
+  40 IA64 NSD servers, one 10 GbE uplink (§3, Figs 4–5)
+* :mod:`repro.topology.sc04`     — SC'04 Pittsburgh: StorCloud, 3×10 GbE,
+  the true grid prototype (§4, Figs 7–8)
+* :mod:`repro.topology.teragrid` — the early-2004 TeraGrid map (Fig 6)
+* :mod:`repro.topology.sdsc2005` — the 0.5 PB production GFS (§5,
+  Figs 9–11) on the TeraGrid map
+* :mod:`repro.topology.deisa`    — DEISA's four-core-site MC-GPFS (§7)
+"""
+
+from repro.topology.sc02 import build_sc02, Sc02Scenario, SanergyClient
+from repro.topology.sc03 import build_sc03, Sc03Scenario
+from repro.topology.sc04 import build_sc04, Sc04Scenario
+from repro.topology.teragrid import add_teragrid_backbone, TERAGRID_SITES
+from repro.topology.sdsc2005 import build_sdsc2005, Sdsc2005Scenario
+from repro.topology.deisa import build_deisa, DeisaScenario
+
+__all__ = [
+    "build_sc02",
+    "Sc02Scenario",
+    "SanergyClient",
+    "build_sc03",
+    "Sc03Scenario",
+    "build_sc04",
+    "Sc04Scenario",
+    "add_teragrid_backbone",
+    "TERAGRID_SITES",
+    "build_sdsc2005",
+    "Sdsc2005Scenario",
+    "build_deisa",
+    "DeisaScenario",
+]

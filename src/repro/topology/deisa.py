@@ -1,0 +1,123 @@
+"""DEISA's four-core-site MC-GPFS (paper §7, Fig 12).
+
+CINECA (Italy), FZJ (Germany), IDRIS (France), RZG (Germany): "Each site
+provides its own GPFS file system which is exported to all the other sites
+as part of the common global file system" over 1 Gb/s WAN links — "the
+only limiting factors left are the 1 Gb/s network connection and disk I/O
+bandwidth ... I/O rates of more than 100 Mbytes/s, thus hitting the
+theoretical limit of the network connection."
+
+DEISA is "tightly coupled enough to unify the UID space among GFS
+participants" — every site shares one UID table, so no GSI extension is
+needed (the builder reflects that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.client import MountedFs
+from repro.core.cluster import Cluster, Gfs, NsdSpec
+from repro.core.filesystem import Filesystem
+from repro.net.tcp import TUNED_2005
+from repro.topology import teragrid  # noqa: F401  (kept for symmetry of imports)
+from repro.util.units import Gbps, MiB
+
+CORE_SITES = ("cineca", "fzj", "idris", "rzg")
+
+#: one-way delays between European core sites (seconds)
+SITE_DELAYS = {
+    ("cineca", "fzj"): 0.011,
+    ("cineca", "idris"): 0.009,
+    ("cineca", "rzg"): 0.008,
+    ("fzj", "idris"): 0.006,
+    ("fzj", "rzg"): 0.005,
+    ("idris", "rzg"): 0.009,
+}
+
+
+@dataclass
+class DeisaScenario:
+    gfs: Gfs
+    clusters: Dict[str, Cluster]
+    filesystems: Dict[str, Filesystem]
+    client_nodes: Dict[str, List[str]]
+
+    def mount(self, at_site: str, fs_site: str, node_index: int = 0, **kw) -> MountedFs:
+        """Mount ``fs_site``'s filesystem on a node at ``at_site``."""
+        node = self.client_nodes[at_site][node_index]
+        cluster = self.clusters[at_site]
+        device = f"gpfs-{fs_site}" if fs_site == at_site else f"gpfs-{fs_site}-remote"
+        return self.gfs.run(until=cluster.mmmount(device, node, **kw))
+
+
+def build_deisa(
+    servers_per_site: int = 4,
+    clients_per_site: int = 4,
+    wan_rate: float = Gbps(1),
+    block_size: int = MiB(1),
+    store_data: bool = False,
+    unified_uids: bool = True,
+    seed: int = 0,
+) -> DeisaScenario:
+    """Fig 12: a full mesh of core sites, every fs exported to every site."""
+    g = Gfs(seed=seed, default_tcp=TUNED_2005)
+    net = g.network
+    for site in CORE_SITES:
+        net.add_node(f"{site}-sw", site=site, kind="switch")
+    for (a, b), delay in SITE_DELAYS.items():
+        net.add_link(f"{a}-sw", f"{b}-sw", wan_rate, delay=delay, efficiency=0.94)
+
+    clusters: Dict[str, Cluster] = {}
+    filesystems: Dict[str, Filesystem] = {}
+    client_nodes: Dict[str, List[str]] = {}
+    for site in CORE_SITES:
+        cluster = g.add_cluster(site, site=site)
+        specs = []
+        for i in range(servers_per_site):
+            name = f"{site}-nsd{i}"
+            net.add_host(name, f"{site}-sw", Gbps(1), site=site)
+            cluster.add_node(name)
+            specs.append(NsdSpec(server=name, blocks=8192))
+        client_nodes[site] = []
+        for i in range(clients_per_site):
+            name = f"{site}-c{i}"
+            net.add_host(name, f"{site}-sw", Gbps(1), site=site)
+            cluster.add_node(name)
+            client_nodes[site].append(name)
+        filesystems[site] = cluster.mmcrfs(
+            f"gpfs-{site}", specs, block_size=block_size, store_data=store_data
+        )
+        cluster.mmauth_update("AUTHONLY")
+        clusters[site] = cluster
+
+    # unified UID space across the grid (§7)
+    if unified_uids:
+        uid = 1000
+        for user in ("plasma", "turbulence"):
+            for site in CORE_SITES:
+                clusters[site].add_user(user, uid=uid)
+            uid += 1
+
+    # full-mesh export: every site trusts and mounts every other
+    pubs = {site: clusters[site].mmauth_genkey() for site in CORE_SITES}
+    for exporter in CORE_SITES:
+        for importer in CORE_SITES:
+            if exporter == importer:
+                continue
+            clusters[exporter].mmauth_add(importer, pubs[importer])
+            clusters[exporter].mmauth_grant(importer, f"gpfs-{exporter}", "rw")
+            clusters[importer].mmremotecluster_add(
+                exporter, pubs[exporter], contact_nodes=[f"{exporter}-nsd0"]
+            )
+            clusters[importer].mmremotefs_add(
+                f"gpfs-{exporter}-remote", exporter, f"gpfs-{exporter}"
+            )
+
+    return DeisaScenario(
+        gfs=g,
+        clusters=clusters,
+        filesystems=filesystems,
+        client_nodes=client_nodes,
+    )

@@ -1,0 +1,53 @@
+"""The early-2004 TeraGrid wide-area map (paper Fig 6).
+
+A 40 Gb/s extensible backplane between the Los Angeles and Chicago hubs;
+each site attached at 30 Gb/s. Propagation delays are route-realistic
+(SDSC↔NCSA measures ~27 ms one way here; the paper's SDSC↔Baltimore
+path measured 80 ms round trip with the show-floor extension).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.topology import Network
+from repro.util.units import Gbps, TB
+
+#: Fig 6 site roles and storage, for reference and capacity checks.
+TERAGRID_SITES: Dict[str, dict] = {
+    "sdsc": {"role": "Data-Intensive", "online_disk": TB(500), "hub": "la"},
+    "caltech": {"role": "Data collection analysis", "online_disk": TB(80), "hub": "la"},
+    "ncsa": {"role": "Compute-Intensive", "online_disk": TB(230), "hub": "chi"},
+    "anl": {"role": "Visualization", "online_disk": TB(20), "hub": "chi"},
+    "psc": {"role": "Heterogeneity", "online_disk": TB(221), "hub": "chi"},
+}
+
+#: one-way propagation delays, seconds
+HUB_DELAY = 0.025  # LA ↔ Chicago
+SITE_DELAY = {
+    "sdsc": 0.002,
+    "caltech": 0.001,
+    "ncsa": 0.002,
+    "anl": 0.001,
+    "psc": 0.005,
+}
+
+
+def add_teragrid_backbone(
+    net: Network,
+    backbone_rate: float = Gbps(40),
+    site_rate: float = Gbps(30),
+    sites: tuple = tuple(TERAGRID_SITES),
+) -> None:
+    """Install hubs and per-site edge switches named ``<site>-sw``."""
+    net.add_node("la-hub", kind="router")
+    net.add_node("chi-hub", kind="router")
+    net.add_link("la-hub", "chi-hub", backbone_rate, delay=HUB_DELAY, efficiency=0.96)
+    for site in sites:
+        if site not in TERAGRID_SITES:
+            raise ValueError(f"unknown TeraGrid site {site!r}")
+        hub = "la-hub" if TERAGRID_SITES[site]["hub"] == "la" else "chi-hub"
+        net.add_node(f"{site}-sw", site=site, kind="switch")
+        net.add_link(
+            f"{site}-sw", hub, site_rate, delay=SITE_DELAY[site], efficiency=0.96
+        )

@@ -1,0 +1,61 @@
+"""Shared utilities: units, time series, tables.
+
+These helpers are deliberately dependency-light; everything above them
+(`repro.sim`, `repro.net`, ...) uses them for units discipline and for
+rendering experiment output.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    PB,
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    Kbps,
+    Mbps,
+    Gbps,
+    kbit,
+    mbit,
+    gbit,
+    bits,
+    to_bits,
+    fmt_bytes,
+    fmt_rate,
+    fmt_bits_rate,
+    fmt_time,
+    parse_size,
+)
+from repro.util.timeseries import TimeSeries, RateMeter
+from repro.util.tables import Table
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "Kbps",
+    "Mbps",
+    "Gbps",
+    "kbit",
+    "mbit",
+    "gbit",
+    "bits",
+    "to_bits",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_bits_rate",
+    "fmt_time",
+    "parse_size",
+    "TimeSeries",
+    "RateMeter",
+    "Table",
+]

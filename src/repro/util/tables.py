@@ -1,0 +1,63 @@
+"""Minimal ASCII table renderer for harness output.
+
+Each experiment harness prints its figure/table as rows; this keeps the
+output uniform (and diffable in EXPERIMENTS.md) without pulling in a
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+class Table:
+    """Column-aligned ASCII table.
+
+    >>> t = Table(["nodes", "read MB/s"])
+    >>> t.add_row([4, 812.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    nodes | read MB/s
+    ------+----------
+        4 |     812.5
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}" if abs(cell) >= 100 else f"{cell:.3g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows)) if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(r[i].rjust(widths[i]) for i in range(len(self.columns)))
+            for r in self.rows
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.extend([header, rule, *body])
+        return "\n".join(line.rstrip() for line in lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,208 @@
+"""Time-series recording for experiment output.
+
+The paper's figures are throughput-vs-time traces (Figs 2, 5, 8) and
+throughput-vs-scale curves (Fig 11). :class:`TimeSeries` is the carrier for
+both; :class:`RateMeter` turns discrete completion events ("N bytes finished
+at time t") into a windowed rate trace like the SCinet monitoring used at
+SC'04.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of ``(t, value)`` samples with monotone ``t``.
+
+    Provides the aggregate statistics the experiment harnesses report
+    (mean/max/percentiles) and resampling onto a uniform grid for plotting
+    figure-shaped output.
+    """
+
+    name: str = ""
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, t: float, value: float) -> None:
+        """Append a sample; ``t`` must be >= the previous sample's time."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"non-monotone time {t} after {self.times[-1]} in series {self.name!r}"
+            )
+        self.times.append(float(t))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def empty(self) -> bool:
+        return not self.times
+
+    def max(self) -> float:
+        if self.empty:
+            raise ValueError(f"empty series {self.name!r}")
+        return max(self.values)
+
+    def min(self) -> float:
+        if self.empty:
+            raise ValueError(f"empty series {self.name!r}")
+        return min(self.values)
+
+    def mean(self) -> float:
+        if self.empty:
+            raise ValueError(f"empty series {self.name!r}")
+        return sum(self.values) / len(self.values)
+
+    def time_weighted_mean(self) -> float:
+        """Mean of a piecewise-constant signal sampled at change points."""
+        if len(self.times) < 2:
+            return self.mean()
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.mean()
+        return total / span
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100] (nearest-rank)."""
+        if self.empty:
+            raise ValueError(f"empty series {self.name!r}")
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of range")
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def value_at(self, t: float) -> float:
+        """Piecewise-constant (previous-sample) interpolation at time ``t``."""
+        if self.empty:
+            raise ValueError(f"empty series {self.name!r}")
+        i = bisect.bisect_right(self.times, t) - 1
+        if i < 0:
+            return self.values[0]
+        return self.values[i]
+
+    def resample(self, times: Sequence[float]) -> "TimeSeries":
+        """Sample the series onto ``times`` (piecewise-constant)."""
+        out = TimeSeries(name=self.name)
+        for t in times:
+            out.add(t, self.value_at(t))
+        return out
+
+    def slice(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with ``t0 <= t < t1``."""
+        out = TimeSeries(name=self.name)
+        for t, v in self:
+            if t0 <= t < t1:
+                out.add(t, v)
+        return out
+
+    def windowed_mean(self, window: float, t_end: float | None = None) -> "TimeSeries":
+        """Time-weighted mean per ``window`` of a piecewise-constant signal.
+
+        This is what a monitoring station (e.g. the SCinet per-link graphs
+        of Fig 8) reports: the integral of the instantaneous rate over each
+        window, divided by the window.
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        out = TimeSeries(name=self.name)
+        if self.empty:
+            return out
+        t0 = self.times[0]
+        last = t_end if t_end is not None else self.times[-1]
+        if last <= t0:
+            return out
+        nbins = int(math.ceil((last - t0) / window))
+        # integrate between change points
+        edges = [t0 + i * window for i in range(nbins + 1)]
+        for i in range(nbins):
+            lo, hi = edges[i], min(edges[i + 1], last)
+            # walk the samples inside [lo, hi)
+            total = 0.0
+            t = lo
+            idx = bisect.bisect_right(self.times, lo) - 1
+            while t < hi:
+                nxt_change = (
+                    self.times[idx + 1] if idx + 1 < len(self.times) else float("inf")
+                )
+                seg_end = min(hi, nxt_change)
+                value = self.values[max(0, idx)]
+                total += value * (seg_end - t)
+                t = seg_end
+                if t >= nxt_change:
+                    idx += 1
+            out.add(edges[i + 1], total / (hi - lo) if hi > lo else 0.0)
+        return out
+
+    @staticmethod
+    def sum_of(series: Iterable["TimeSeries"], name: str = "sum") -> "TimeSeries":
+        """Pointwise sum of piecewise-constant series on the union grid."""
+        series = list(series)
+        grid = sorted({t for s in series for t in s.times})
+        out = TimeSeries(name=name)
+        for t in grid:
+            out.add(t, sum(s.value_at(t) for s in series if not s.empty and t >= s.times[0]))
+        return out
+
+
+class RateMeter:
+    """Windowed byte-rate meter.
+
+    Feed it ``record(t, nbytes)`` events; read back a rate trace with one
+    sample per ``window`` seconds — the same reduction the SCinet bandwidth
+    monitors applied to the SC'04 links (Fig 8).
+    """
+
+    def __init__(self, window: float = 1.0, name: str = "") -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self.name = name
+        self._events: list[tuple[float, float]] = []
+        self.total_bytes = 0.0
+
+    def record(self, t: float, nbytes: float) -> None:
+        """Record that ``nbytes`` completed at simulation time ``t``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self._events and t < self._events[-1][0]:
+            raise ValueError(f"non-monotone time {t} in meter {self.name!r}")
+        self._events.append((float(t), float(nbytes)))
+        self.total_bytes += nbytes
+
+    def series(self, t_end: float | None = None) -> TimeSeries:
+        """Aggregate into a per-window rate trace (bytes/second samples)."""
+        out = TimeSeries(name=self.name)
+        if not self._events:
+            return out
+        t0 = 0.0
+        last = t_end if t_end is not None else self._events[-1][0]
+        nbins = max(1, int(math.ceil((last - t0) / self.window)))
+        bins = [0.0] * nbins
+        for t, nbytes in self._events:
+            i = min(nbins - 1, int((t - t0) / self.window))
+            bins[i] += nbytes
+        for i, total in enumerate(bins):
+            out.add(t0 + (i + 1) * self.window, total / self.window)
+        return out
+
+    def mean_rate(self, t_end: float | None = None) -> float:
+        """Overall bytes/second from first window start to ``t_end``."""
+        if not self._events:
+            return 0.0
+        last = t_end if t_end is not None else self._events[-1][0]
+        if last <= 0:
+            return 0.0
+        return self.total_bytes / last

@@ -1,0 +1,177 @@
+"""Unit constructors and formatters.
+
+Conventions (matching the paper's usage):
+
+* Data sizes and rates are **bytes** and **bytes/second** internally.
+* Decimal prefixes (``1 GB == 1e9 B``) are the default, as in the paper's
+  "GB/s" figures and disk-capacity arithmetic (``32 x 67 x 250 GB``).
+* Binary (IEC) prefixes are available for the places GPFS itself is
+  binary-aligned (block sizes: ``256 KiB`` .. ``4 MiB``).
+* Network rates quoted in bits/second use the ``*bps`` constructors.
+
+All constructors return plain ``float``/``int`` so arithmetic stays cheap;
+units discipline is by convention plus these helpers, not a quantity type
+(this is the hot path of a discrete-event simulator).
+"""
+
+from __future__ import annotations
+
+# --- Decimal sizes (bytes) --------------------------------------------------
+
+def KB(n: float) -> float:
+    """``n`` kilobytes in bytes (decimal)."""
+    return n * 1e3
+
+
+def MB(n: float) -> float:
+    """``n`` megabytes in bytes (decimal)."""
+    return n * 1e6
+
+
+def GB(n: float) -> float:
+    """``n`` gigabytes in bytes (decimal)."""
+    return n * 1e9
+
+
+def TB(n: float) -> float:
+    """``n`` terabytes in bytes (decimal)."""
+    return n * 1e12
+
+
+def PB(n: float) -> float:
+    """``n`` petabytes in bytes (decimal)."""
+    return n * 1e15
+
+
+# --- Binary sizes (bytes) ---------------------------------------------------
+
+def KiB(n: float) -> int:
+    """``n`` kibibytes in bytes."""
+    return int(n * 1024)
+
+
+def MiB(n: float) -> int:
+    """``n`` mebibytes in bytes."""
+    return int(n * 1024**2)
+
+
+def GiB(n: float) -> int:
+    """``n`` gibibytes in bytes."""
+    return int(n * 1024**3)
+
+
+def TiB(n: float) -> int:
+    """``n`` tebibytes in bytes."""
+    return int(n * 1024**4)
+
+
+# --- Rates ------------------------------------------------------------------
+
+def Kbps(n: float) -> float:
+    """``n`` kilobits/second in bytes/second."""
+    return n * 1e3 / 8.0
+
+
+def Mbps(n: float) -> float:
+    """``n`` megabits/second in bytes/second."""
+    return n * 1e6 / 8.0
+
+
+def Gbps(n: float) -> float:
+    """``n`` gigabits/second in bytes/second."""
+    return n * 1e9 / 8.0
+
+
+# Aliases used by network code where "bit" reads more naturally.
+kbit = Kbps
+mbit = Mbps
+gbit = Gbps
+
+
+def bits(n_bits: float) -> float:
+    """``n_bits`` bits in bytes."""
+    return n_bits / 8.0
+
+
+def to_bits(n_bytes: float) -> float:
+    """Bytes → bits."""
+    return n_bytes * 8.0
+
+
+# --- Formatting -------------------------------------------------------------
+
+_DEC = [(1e15, "PB"), (1e12, "TB"), (1e9, "GB"), (1e6, "MB"), (1e3, "KB")]
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a decimal prefix, e.g. ``536.0 TB``."""
+    neg = n < 0
+    n = abs(float(n))
+    for factor, suffix in _DEC:
+        if n >= factor:
+            return f"{'-' if neg else ''}{n / factor:.2f} {suffix}"
+    return f"{'-' if neg else ''}{n:.0f} B"
+
+
+def fmt_rate(bps: float) -> str:
+    """Render a bytes/second rate, e.g. ``1.12 GB/s``."""
+    return fmt_bytes(bps) + "/s"
+
+
+def fmt_bits_rate(bps: float) -> str:
+    """Render a bytes/second rate in bits/second, e.g. ``8.96 Gb/s``."""
+    bits_s = to_bits(bps)
+    for factor, suffix in [(1e12, "Tb/s"), (1e9, "Gb/s"), (1e6, "Mb/s"), (1e3, "Kb/s")]:
+        if bits_s >= factor:
+            return f"{bits_s / factor:.2f} {suffix}"
+    return f"{bits_s:.0f} b/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration, e.g. ``2h03m``, ``14.2 s``, ``310 ms``."""
+    if seconds >= 3600:
+        h = int(seconds // 3600)
+        m = int((seconds % 3600) // 60)
+        return f"{h}h{m:02d}m"
+    if seconds >= 60:
+        m = int(seconds // 60)
+        s = seconds % 60
+        return f"{m}m{s:04.1f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+_SUFFIXES = {
+    "b": 1.0,
+    "kb": 1e3,
+    "mb": 1e6,
+    "gb": 1e9,
+    "tb": 1e12,
+    "pb": 1e15,
+    "kib": 1024.0,
+    "mib": 1024.0**2,
+    "gib": 1024.0**3,
+    "tib": 1024.0**4,
+}
+
+
+def parse_size(text: str) -> float:
+    """Parse ``"250GB"``, ``"1 MiB"``, ``"64kb"`` → bytes.
+
+    Raises ``ValueError`` on unknown suffixes.
+    """
+    s = text.strip().lower().replace(" ", "")
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit() and s[idx - 1] != ".":
+        idx -= 1
+    num, suffix = s[:idx], s[idx:]
+    if not num:
+        raise ValueError(f"no numeric part in size {text!r}")
+    if suffix == "":
+        suffix = "b"
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return float(num) * _SUFFIXES[suffix]

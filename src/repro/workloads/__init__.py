@@ -1,0 +1,38 @@
+"""Application workload generators.
+
+The I/O shapes of the applications the paper names:
+
+* :mod:`repro.workloads.enzo`   — Enzo AMR cosmology: periodic multi-TB
+  checkpoint dumps ("multiple Terabytes per hour be routinely written")
+* :mod:`repro.workloads.viz`    — post-processing visualization: streaming
+  reads, network-limited, restartable (the Fig 5 dip)
+* :mod:`repro.workloads.sortapp`— "a simple sorting application that merely
+  sorted the data output by Enzo, and was completely network limited"
+* :mod:`repro.workloads.nvo`    — NVO: database-style partial reads of a
+  50 TB catalog
+* :mod:`repro.workloads.scec`   — SCEC: ~250 TB written in a single run
+* :mod:`repro.workloads.mpiio`  — the Fig 11 MPI-IO benchmark: N clients,
+  128 MB blocks, 1 MB transfers
+"""
+
+from repro.workloads.base import WorkloadResult
+from repro.workloads.enzo import EnzoRun
+from repro.workloads.viz import VizReader
+from repro.workloads.sortapp import SortApp
+from repro.workloads.nvo import NvoQueryStream
+from repro.workloads.scec import ScecRun
+from repro.workloads.mpiio import mpiio_collective
+from repro.workloads.replay import TraceOp, TraceReplay, parse_trace
+
+__all__ = [
+    "WorkloadResult",
+    "EnzoRun",
+    "VizReader",
+    "SortApp",
+    "NvoQueryStream",
+    "ScecRun",
+    "mpiio_collective",
+    "TraceOp",
+    "TraceReplay",
+    "parse_trace",
+]

@@ -1,0 +1,42 @@
+"""Shared workload plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class WorkloadResult:
+    """What one workload run did."""
+
+    name: str
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    elapsed: float = 0.0
+    ops: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def rate(self) -> float:
+        """Aggregate bytes/s over the run."""
+        return self.bytes_total / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def read_rate(self) -> float:
+        return self.bytes_read / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def write_rate(self) -> float:
+        return self.bytes_written / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def payload_for(mount, nbytes: int):
+    """Bytes (data-keeping fs) or a length (size-only fs) for writes."""
+    if mount.fs.store_data:
+        return b"\x00" * int(nbytes)
+    return int(nbytes)

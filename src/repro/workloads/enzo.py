@@ -1,0 +1,76 @@
+"""Enzo: periodic checkpoint dumps from a running simulation.
+
+"The Enzo application requires multiple Terabytes per hour be routinely
+written and read" (§1); at SC'04 it ran on DataStar "writing its output
+directly [to] the GPFS disks in Pittsburgh" at about a terabyte per hour
+(§4). The generator alternates compute phases with checkpoint dumps — each
+dump a set of per-processor files written concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.sim.kernel import Event
+from repro.workloads.base import WorkloadResult, payload_for
+
+
+class EnzoRun:
+    """A cosmology run: compute → dump → compute → dump ..."""
+
+    def __init__(
+        self,
+        mounts: List,
+        out_dir: str,
+        steps: int = 4,
+        bytes_per_dump: float = 0,
+        compute_seconds: float = 60.0,
+        chunk: int = 0,
+    ) -> None:
+        """``mounts``: one mount per writer rank (files fan out across them)."""
+        if not mounts:
+            raise ValueError("EnzoRun needs at least one mount")
+        if steps < 1 or bytes_per_dump <= 0:
+            raise ValueError("steps >= 1 and bytes_per_dump > 0 required")
+        self.mounts = mounts
+        self.out_dir = out_dir.rstrip("/")
+        self.steps = steps
+        self.bytes_per_dump = bytes_per_dump
+        self.compute_seconds = compute_seconds
+        self.chunk = chunk or mounts[0].fs.block_size * 4
+
+    def run(self) -> Event:
+        sim = self.mounts[0].sim
+        return sim.process(self._run(), name="enzo")
+
+    def _run(self) -> Generator[Event, None, WorkloadResult]:
+        sim = self.mounts[0].sim
+        t0 = sim.now
+        result = WorkloadResult(name="enzo")
+        yield self.mounts[0].mkdir(self.out_dir)
+        for step in range(self.steps):
+            yield sim.timeout(self.compute_seconds)
+            writers = [
+                sim.process(
+                    self._dump_rank(rank, step), name=f"enzo-dump{step}.{rank}"
+                )
+                for rank in range(len(self.mounts))
+            ]
+            yield sim.all_of(writers)
+            result.bytes_written += self.bytes_per_dump
+            result.ops += 1
+        result.elapsed = sim.now - t0
+        result.extra["dumps"] = float(self.steps)
+        return result
+
+    def _dump_rank(self, rank: int, step: int) -> Generator[Event, None, None]:
+        mount = self.mounts[rank]
+        per_rank = self.bytes_per_dump / len(self.mounts)
+        path = f"{self.out_dir}/dump{step:04d}.cpu{rank:04d}"
+        handle = yield mount.open(path, "w", create=True)
+        written = 0.0
+        while written < per_rank:
+            n = int(min(self.chunk, per_rank - written))
+            yield mount.write(handle, payload_for(mount, n))
+            written += n
+        yield mount.close(handle)

@@ -1,0 +1,84 @@
+"""The Fig 11 benchmark: MPI-IO collective access to one shared file.
+
+"MPI IO, 128 MB Block Size, 1 MB Transfer Size" — each of N client nodes
+owns a disjoint 128 MB region of a shared file and moves it in 1 MB
+transfers; reported speed is aggregate bytes over wall time, swept over
+node count. Disjoint regions mean no token conflicts — the configuration
+GPFS is designed to make scale.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.sim.kernel import Event
+from repro.util.units import MiB
+from repro.workloads.base import WorkloadResult, payload_for
+
+
+def mpiio_collective(
+    mounts: List,
+    path: str,
+    kind: str = "write",
+    region_bytes: int = MiB(128),
+    transfer_bytes: int = MiB(1),
+    create: bool = True,
+) -> Event:
+    """Run one collective pass; event value is a :class:`WorkloadResult`.
+
+    ``mounts`` — one mount per MPI rank (node). Rank i owns
+    ``[i * region, (i+1) * region)`` of the shared file.
+    """
+    if kind not in ("read", "write"):
+        raise ValueError("kind must be 'read' or 'write'")
+    if not mounts:
+        raise ValueError("need at least one mount")
+    if region_bytes < transfer_bytes or transfer_bytes < 1:
+        raise ValueError("need region_bytes >= transfer_bytes >= 1")
+    sim = mounts[0].sim
+    return sim.process(
+        _collective(mounts, path, kind, int(region_bytes), int(transfer_bytes), create),
+        name=f"mpiio-{kind}",
+    )
+
+
+def _collective(mounts, path, kind, region, transfer, create):
+    sim = mounts[0].sim
+    t0 = sim.now
+    ranks = [
+        sim.process(
+            _rank_io(mounts[i], path, kind, i * region, region, transfer, create and i == 0 and kind == "write"),
+            name=f"mpiio-r{i}",
+        )
+        for i in range(len(mounts))
+    ]
+    # ranks run concurrently; the collective completes at the barrier
+    yield sim.all_of(ranks)
+    elapsed = sim.now - t0
+    total = float(region * len(mounts))
+    result = WorkloadResult(name=f"mpiio-{kind}", elapsed=elapsed, ops=len(mounts))
+    if kind == "read":
+        result.bytes_read = total
+    else:
+        result.bytes_written = total
+    result.extra["nodes"] = float(len(mounts))
+    result.extra["rate"] = total / elapsed if elapsed > 0 else 0.0
+    return result
+
+
+def _rank_io(mount, path, kind, offset, region, transfer, creator):
+    handle = yield mount.open(
+        path, "r" if kind == "read" else "r+", create=True
+    )
+    pos = offset
+    end = offset + region
+    while pos < end:
+        n = min(transfer, end - pos)
+        if kind == "read":
+            yield mount.pread(handle, pos, n)
+        else:
+            yield mount.pwrite(handle, pos, payload_for(mount, n))
+        pos += n
+    if kind == "write":
+        yield mount.fsync(handle)
+    yield mount.close(handle)

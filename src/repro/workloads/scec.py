@@ -1,0 +1,66 @@
+"""SCEC: earthquake simulations writing enormous outputs.
+
+§1: "the Southern California Earthquake Center (SCEC) simulations may
+write close to 250 Terabytes in a single run". The generator is a
+many-writer sequential dump: each rank streams its own output file with
+no compute pauses — the case that stresses write-side capacity planning
+(and at full scale, §1's point that no site can casually *receive* it).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.sim.kernel import Event
+from repro.workloads.base import WorkloadResult, payload_for
+
+
+class ScecRun:
+    """A wavefield-output run: every rank writes continuously."""
+
+    def __init__(
+        self,
+        mounts: List,
+        out_dir: str,
+        total_bytes: float,
+        chunk: int = 0,
+    ) -> None:
+        if not mounts:
+            raise ValueError("ScecRun needs at least one mount")
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.mounts = mounts
+        self.out_dir = out_dir.rstrip("/")
+        self.total_bytes = total_bytes
+        self.chunk = chunk or mounts[0].fs.block_size * 4
+
+    def run(self) -> Event:
+        sim = self.mounts[0].sim
+        return sim.process(self._run(), name="scec")
+
+    def _run(self) -> Generator[Event, None, WorkloadResult]:
+        sim = self.mounts[0].sim
+        t0 = sim.now
+        result = WorkloadResult(name="scec")
+        yield self.mounts[0].mkdir(self.out_dir)
+        writers = [
+            sim.process(self._writer(rank), name=f"scec-w{rank}")
+            for rank in range(len(self.mounts))
+        ]
+        yield sim.all_of(writers)
+        result.bytes_written = self.total_bytes
+        result.elapsed = sim.now - t0
+        return result
+
+    def _writer(self, rank: int) -> Generator[Event, None, None]:
+        mount = self.mounts[rank]
+        per_rank = self.total_bytes / len(self.mounts)
+        handle = yield mount.open(
+            f"{self.out_dir}/wavefield.{rank:05d}", "w", create=True
+        )
+        written = 0.0
+        while written < per_rank:
+            n = int(min(self.chunk, per_rank - written))
+            yield mount.write(handle, payload_for(mount, n))
+            written += n
+        yield mount.close(handle)

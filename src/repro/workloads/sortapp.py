@@ -1,0 +1,71 @@
+"""The SC'04 sort: read everything, write everything, network-limited.
+
+§4: "we also used a simple sorting application that merely sorted the data
+output by Enzo, and was completely network limited. This was run in both
+directions, to look for any differences in reading and writing." The
+generator reads an input file and writes an equal-sized output, optionally
+as alternating read/write *phases* (the alternating pattern visible in the
+Fig 8 trace).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.sim.kernel import Event
+from repro.workloads.base import WorkloadResult, payload_for
+
+
+class SortApp:
+    """External sort over the GFS."""
+
+    def __init__(
+        self,
+        mount,
+        in_path: str,
+        out_path: str,
+        chunk: int = 0,
+        phase_bytes: float = 0,
+    ) -> None:
+        """``phase_bytes``: alternate read/write every this many bytes
+        (0 = read the whole input, then write the whole output)."""
+        self.mount = mount
+        self.in_path = in_path
+        self.out_path = out_path
+        self.chunk = chunk or mount.fs.block_size * 2
+        self.phase_bytes = phase_bytes
+
+    def run(self) -> Event:
+        return self.mount.sim.process(self._run(), name="sort")
+
+    def _run(self) -> Generator[Event, None, WorkloadResult]:
+        sim = self.mount.sim
+        t0 = sim.now
+        result = WorkloadResult(name="sort")
+        hin = yield self.mount.open(self.in_path, "r")
+        size = hin.inode.size
+        hout = yield self.mount.open(self.out_path, "w", create=True)
+        phase = self.phase_bytes or size
+        pos = 0
+        while pos < size:
+            # read phase
+            read_end = min(pos + phase, size)
+            rp = pos
+            while rp < read_end:
+                n = min(self.chunk, read_end - rp)
+                yield self.mount.pread(hin, rp, n)
+                rp += n
+            result.bytes_read += read_end - pos
+            # write phase (sorted run of equal size)
+            wp = pos
+            while wp < read_end:
+                n = int(min(self.chunk, read_end - wp))
+                yield self.mount.pwrite(hout, wp, payload_for(self.mount, n))
+                wp += n
+            result.bytes_written += read_end - pos
+            pos = read_end
+        yield self.mount.fsync(hout)
+        yield self.mount.close(hout)
+        yield self.mount.close(hin)
+        result.elapsed = sim.now - t0
+        return result

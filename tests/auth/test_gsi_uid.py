@@ -1,0 +1,141 @@
+"""Tests for GSI certificates and UID domains."""
+
+import numpy as np
+import pytest
+
+from repro.auth.gsi import CertificateAuthority, make_proxy, verify_proxy
+from repro.auth.rsa import generate_keypair
+from repro.auth.uid import GridMapFile, UidDomain
+
+
+def kp(seed):
+    return generate_keypair(bits=256, rng=np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority("/C=US/O=TeraGrid/CN=CA", kp(0))
+
+
+@pytest.fixture(scope="module")
+def alice_key():
+    return kp(1)
+
+
+@pytest.fixture()
+def alice_cert(ca, alice_key):
+    return ca.issue("/C=US/O=TeraGrid/CN=alice", alice_key.public, not_before=0.0)
+
+
+class TestCertificates:
+    def test_issue_and_verify(self, ca, alice_cert):
+        assert ca.verify(alice_cert, at_time=100.0)
+
+    def test_expired_rejected(self, ca, alice_key):
+        cert = ca.issue("/CN=shortlived", alice_key.public, not_before=0.0, lifetime=10.0)
+        assert ca.verify(cert, at_time=5.0)
+        assert not ca.verify(cert, at_time=11.0)
+
+    def test_not_yet_valid_rejected(self, ca, alice_key):
+        cert = ca.issue("/CN=future", alice_key.public, not_before=100.0)
+        assert not ca.verify(cert, at_time=50.0)
+
+    def test_wrong_issuer_rejected(self, alice_cert):
+        other_ca = CertificateAuthority("/CN=EvilCA", kp(66))
+        assert not other_ca.verify(alice_cert, at_time=1.0)
+
+    def test_forged_signature_rejected(self, ca, alice_cert):
+        from dataclasses import replace
+
+        forged = replace(alice_cert, subject="/CN=mallory")
+        assert not ca.verify(forged, at_time=1.0)
+
+    def test_revocation(self, ca, alice_key):
+        cert = ca.issue("/CN=revokee", alice_key.public)
+        assert ca.verify(cert, at_time=1.0)
+        ca.revoke("/CN=revokee")
+        assert not ca.verify(cert, at_time=1.0)
+
+
+class TestProxies:
+    def test_proxy_chain_verifies(self, ca, alice_cert, alice_key):
+        proxy_key = kp(7)
+        proxy = make_proxy(alice_cert, alice_key, proxy_key.public, not_before=0.0)
+        assert verify_proxy(proxy, ca, at_time=100.0)
+        assert proxy.identity == "/C=US/O=TeraGrid/CN=alice"
+        assert proxy.subject.endswith("/CN=proxy")
+
+    def test_expired_proxy_rejected(self, ca, alice_cert, alice_key):
+        proxy = make_proxy(
+            alice_cert, alice_key, kp(7).public, not_before=0.0, lifetime=3600.0
+        )
+        assert not verify_proxy(proxy, ca, at_time=4000.0)
+
+    def test_proxy_signed_by_wrong_user_rejected(self, ca, alice_cert):
+        mallory_key = kp(13)
+        proxy = make_proxy(alice_cert, mallory_key, kp(7).public, not_before=0.0)
+        assert not verify_proxy(proxy, ca, at_time=1.0)
+
+    def test_proxy_of_revoked_user_rejected(self, ca, alice_key):
+        cert = ca.issue("/CN=soon-revoked", alice_key.public)
+        proxy = make_proxy(cert, alice_key, kp(7).public, not_before=0.0)
+        assert verify_proxy(proxy, ca, at_time=1.0)
+        ca.revoke("/CN=soon-revoked")
+        assert not verify_proxy(proxy, ca, at_time=1.0)
+
+
+class TestUidDomain:
+    def test_paper_scenario_different_uids_per_site(self):
+        sdsc = UidDomain("sdsc")
+        ncsa = UidDomain("ncsa")
+        sdsc.add_user("alice", uid=5001)
+        ncsa.add_user("amhb", uid=77)  # same human, different name & uid
+        assert sdsc.lookup("alice").uid != ncsa.lookup("amhb").uid
+
+    def test_duplicate_rejected(self):
+        dom = UidDomain("sdsc")
+        dom.add_user("alice", uid=1)
+        with pytest.raises(ValueError):
+            dom.add_user("alice", uid=2)
+        with pytest.raises(ValueError):
+            dom.add_user("bob", uid=1)
+
+    def test_lookup_unknown(self):
+        dom = UidDomain("sdsc")
+        with pytest.raises(KeyError):
+            dom.lookup("ghost")
+        assert dom.lookup_uid(404) is None
+
+    def test_contains(self):
+        dom = UidDomain("sdsc")
+        dom.add_user("alice", uid=1)
+        assert "alice" in dom and "bob" not in dom
+
+
+class TestGridMapFile:
+    def make(self):
+        dom = UidDomain("sdsc")
+        dom.add_user("alice", uid=5001)
+        gmf = GridMapFile(dom)
+        gmf.add("/CN=alice", "alice")
+        return dom, gmf
+
+    def test_resolve(self):
+        _, gmf = self.make()
+        assert gmf.resolve("/CN=alice").uid == 5001
+
+    def test_unmapped_dn(self):
+        _, gmf = self.make()
+        with pytest.raises(KeyError, match="grid-mapfile"):
+            gmf.resolve("/CN=stranger")
+
+    def test_mapping_to_missing_user_rejected(self):
+        dom = UidDomain("sdsc")
+        gmf = GridMapFile(dom)
+        with pytest.raises(KeyError):
+            gmf.add("/CN=alice", "nosuchuser")
+
+    def test_reverse_lookup(self):
+        _, gmf = self.make()
+        assert gmf.dn_of_uid(5001) == "/CN=alice"
+        assert gmf.dn_of_uid(9999) is None

@@ -1,0 +1,95 @@
+"""Tests for KeyStore and cipherList policies."""
+
+import numpy as np
+import pytest
+
+from repro.auth.cipher import CIPHERS, CipherPolicy, cipher
+from repro.auth.keys import KeyStore, fingerprint
+from repro.auth.rsa import generate_keypair
+
+
+def kp(seed):
+    return generate_keypair(bits=128, rng=np.random.default_rng(seed))
+
+
+class TestKeyStore:
+    def test_own_key_lifecycle(self):
+        store = KeyStore("sdsc")
+        assert not store.has_own
+        with pytest.raises(KeyError, match="mmauth genkey"):
+            _ = store.own
+        store.set_own(kp(1))
+        assert store.has_own
+        assert store.own.n > 0
+
+    def test_import_and_lookup(self):
+        store = KeyStore("sdsc")
+        ncsa_key = kp(2)
+        store.import_public("ncsa", ncsa_key.public)
+        assert store.knows("ncsa")
+        assert store.public_of("ncsa") == ncsa_key.public
+
+    def test_unknown_cluster(self):
+        store = KeyStore("sdsc")
+        assert not store.knows("anl")
+        with pytest.raises(KeyError):
+            store.public_of("anl")
+
+    def test_revoke(self):
+        store = KeyStore("sdsc")
+        store.import_public("ncsa", kp(2).public)
+        store.revoke("ncsa")
+        assert not store.knows("ncsa")
+        store.revoke("ncsa")  # idempotent
+
+    def test_fingerprint_stable_and_distinct(self):
+        a, b = kp(1).public, kp(2).public
+        assert fingerprint(a) == fingerprint(a)
+        assert fingerprint(a) != fingerprint(b)
+        assert len(fingerprint(a)) == 16
+
+
+class TestCipher:
+    def test_registry_contents(self):
+        assert set(CIPHERS) == {"EMPTY", "AUTHONLY", "AES128", "AES256", "3DES"}
+
+    def test_empty_no_auth(self):
+        pol = cipher("EMPTY")
+        assert not pol.requires_auth and not pol.encrypts
+        assert pol.throughput_factor == 1.0
+
+    def test_authonly_full_speed(self):
+        pol = cipher("AUTHONLY")
+        assert pol.requires_auth and not pol.encrypts
+        assert pol.throughput_factor == 1.0
+
+    def test_encryption_taxes_throughput(self):
+        assert cipher("AES128").throughput_factor < 1.0
+        assert cipher("3DES").throughput_factor < cipher("AES128").throughput_factor
+
+    def test_unknown_cipher(self):
+        with pytest.raises(KeyError, match="AUTHONLY"):
+            cipher("ROT13")
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            CipherPolicy("x", requires_auth=True, encrypts=True, throughput_factor=0)
+        with pytest.raises(ValueError):
+            CipherPolicy("x", requires_auth=False, encrypts=True, throughput_factor=0.5)
+
+    def test_crypto_rate_required_iff_encrypting(self):
+        with pytest.raises(ValueError, match="crypto_rate"):
+            CipherPolicy("x", requires_auth=True, encrypts=True,
+                         throughput_factor=0.5)  # missing crypto_rate
+        with pytest.raises(ValueError, match="crypto_rate"):
+            CipherPolicy("x", requires_auth=True, encrypts=False,
+                         throughput_factor=1.0, crypto_rate=1e6)
+
+    def test_registry_crypto_rates_ordered_by_strength(self):
+        assert (
+            CIPHERS["AES128"].crypto_rate
+            > CIPHERS["AES256"].crypto_rate
+            > CIPHERS["3DES"].crypto_rate
+        )
+        assert CIPHERS["AUTHONLY"].crypto_rate is None
+        assert CIPHERS["EMPTY"].crypto_rate is None

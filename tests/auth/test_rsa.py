@@ -1,0 +1,104 @@
+"""Tests for the from-scratch RSA implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth.rsa import (
+    RsaKeyPair,
+    _modinv,
+    generate_keypair,
+    is_probable_prime,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+KEY = generate_keypair(bits=256, rng=rng(42))  # small but fast for tests
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1])
+    def test_primes(self, p):
+        assert is_probable_prime(p, rng())
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9, 100, 7917, 2**31 - 2, 561, 41041])
+    def test_composites_and_carmichael(self, n):
+        # 561 and 41041 are Carmichael numbers (fool Fermat, not Miller-Rabin)
+        assert not is_probable_prime(n, rng())
+
+
+class TestModInv:
+    def test_inverse(self):
+        assert (_modinv(3, 26) * 3) % 26 == 1
+
+    def test_no_inverse(self):
+        with pytest.raises(ValueError):
+            _modinv(4, 26)
+
+
+class TestKeygen:
+    def test_deterministic_given_rng(self):
+        a = generate_keypair(bits=128, rng=rng(7))
+        b = generate_keypair(bits=128, rng=rng(7))
+        assert a == b
+
+    def test_different_seeds_different_keys(self):
+        a = generate_keypair(bits=128, rng=rng(1))
+        b = generate_keypair(bits=128, rng=rng(2))
+        assert a.n != b.n
+
+    def test_modulus_size(self):
+        key = generate_keypair(bits=256, rng=rng(3))
+        assert key.n.bit_length() in (255, 256)
+
+    def test_min_bits(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=32)
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        sig = KEY.sign(b"mmauth handshake")
+        assert KEY.public.verify(b"mmauth handshake", sig)
+
+    def test_tampered_message_rejected(self):
+        sig = KEY.sign(b"original")
+        assert not KEY.public.verify(b"tampered", sig)
+
+    def test_wrong_key_rejected(self):
+        other = generate_keypair(bits=256, rng=rng(99))
+        sig = KEY.sign(b"msg")
+        assert not other.public.verify(b"msg", sig)
+
+    def test_signature_out_of_range_rejected(self):
+        assert not KEY.public.verify(b"msg", 0)
+        assert not KEY.public.verify(b"msg", KEY.n + 5)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        m = 123456789
+        assert KEY.decrypt(KEY.public.encrypt(m)) == m
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            KEY.public.encrypt(KEY.n)
+        with pytest.raises(ValueError):
+            KEY.decrypt(-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**64))
+    def test_roundtrip_property(self, m):
+        m %= KEY.n
+        assert KEY.decrypt(KEY.public.encrypt(m)) == m
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_sign_verify_property(self, msg):
+        sig = KEY.sign(msg)
+        assert KEY.public.verify(msg, sig)
+        assert not KEY.public.verify(msg + b"x", sig)

@@ -1,0 +1,128 @@
+"""Tests for the mmls* admin views and engine diagnostics."""
+
+import pytest
+
+from repro.util.units import MB
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+
+class TestMmlsCluster:
+    def test_contains_key_facts(self):
+        g, cluster, fs, _ = small_gfs()
+        out = cluster.mmlscluster()
+        assert "sdsc" in out
+        assert "nsd0" in out  # primary config server
+        assert "gpfs0" in out
+        assert "EMPTY" in out  # default cipherList
+
+    def test_reflects_cipher_change(self):
+        g, cluster, fs, _ = small_gfs()
+        cluster.mmauth_update("AUTHONLY")
+        assert "AUTHONLY" in cluster.mmlscluster()
+
+
+class TestMmlsFs:
+    def test_capacity_and_usage(self):
+        g, cluster, fs, _ = small_gfs()
+        m = mounted(g, cluster, node="c0")
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, b"x" * fs.block_size * 2)
+            yield m.close(h)
+
+        run_io(g, io())
+        out = cluster.mmlsfs("gpfs0")
+        assert "block size" in out
+        assert "262.14 KB" in out  # 256 KiB block size, decimal-formatted
+        assert "524.29 KB" in out  # two used blocks
+        assert "mounts" in out
+
+    def test_unknown_device(self):
+        from repro.core.cluster import ClusterError
+
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ClusterError):
+            cluster.mmlsfs("ghost")
+
+
+class TestMmlsAuth:
+    def test_shows_grants_and_fingerprints(self):
+        g, cluster, fs, _ = small_gfs()
+        cluster.mmauth_genkey()
+        other = g.add_cluster("ncsa")
+        other_pub = other.mmauth_genkey()
+        cluster.mmauth_add("ncsa", other_pub)
+        cluster.mmauth_grant("ncsa", "gpfs0", "ro")
+        out = cluster.mmlsauth()
+        assert "ncsa" in out
+        assert "gpfs0:ro" in out
+        assert "(no key!)" not in out
+
+    def test_missing_key_flagged(self):
+        g, cluster, fs, _ = small_gfs()
+        cluster.mmauth_grant("phantom", "gpfs0", "rw")
+        assert "(no key!)" in cluster.mmlsauth()
+
+
+class TestLinkUtilization:
+    def test_active_links_reported(self):
+        g, cluster, fs, _ = small_gfs()
+        m = mounted(g, cluster, node="c0")
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, b"z" * int(MB(4)))
+            # sample while flushes are in flight
+            yield g.sim.timeout(0.001)
+            return g.engine.link_utilization()
+
+        util = run_io(g, io())
+        assert util  # something was flowing
+        for name, frac in util.items():
+            assert 0 < frac <= 1.0 + 1e-9
+
+    def test_idle_engine_empty(self):
+        g, cluster, fs, _ = small_gfs()
+        assert g.engine.link_utilization() == {}
+
+
+class TestStripedGridFtp:
+    def test_striped_beats_single_host(self):
+        from repro.grid import GridFtp
+        from repro.net import TcpModel
+        from repro.util.units import Gbps, MiB
+
+        g, cluster, fs, _ = small_gfs()
+        net = g.network
+        # two movers per side behind a wide trunk
+        net.add_node("far-sw", kind="switch")
+        net.add_link("sw", "far-sw", Gbps(10), delay=0.030)
+        for i in range(2):
+            net.add_host(f"mover{i}", "sw", Gbps(1))
+            net.add_host(f"sink{i}", "far-sw", Gbps(1))
+        ftp = GridFtp(g.sim, g.engine, g.messages)
+        tcp = TcpModel(window=float(MiB(8)))
+        single = g.run(
+            until=ftp.transfer("mover0", "sink0", MB(400), streams=2, tcp=tcp)
+        )
+        striped = g.run(
+            until=ftp.striped_transfer(
+                ["mover0", "mover1"], ["sink0", "sink1"], MB(400),
+                streams_per_pair=2, tcp=tcp,
+            )
+        )
+        assert striped.transfer_rate > 1.5 * single.transfer_rate
+
+    def test_validation(self):
+        from repro.grid import GridFtp
+
+        g, cluster, fs, _ = small_gfs()
+        ftp = GridFtp(g.sim, g.engine, g.messages)
+        with pytest.raises(ValueError):
+            ftp.striped_transfer([], ["x"], 1)
+        with pytest.raises(ValueError):
+            ftp.striped_transfer(["a"], ["b"], -1)
+        with pytest.raises(ValueError):
+            ftp.striped_transfer(["a"], ["b"], 1, streams_per_pair=0)

@@ -1,0 +1,89 @@
+"""Tests for the NSD block allocators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationMap, NsdAllocator, OutOfSpaceError
+
+
+class TestNsdAllocator:
+    def test_alloc_unique(self):
+        a = NsdAllocator(0, 10)
+        blocks = [a.alloc() for _ in range(10)]
+        assert len(set(blocks)) == 10
+
+    def test_enospc(self):
+        a = NsdAllocator(0, 2)
+        a.alloc()
+        a.alloc()
+        with pytest.raises(OutOfSpaceError):
+            a.alloc()
+
+    def test_free_and_reuse(self):
+        a = NsdAllocator(0, 2)
+        b0 = a.alloc()
+        a.alloc()
+        a.free(b0)
+        assert a.alloc() == b0
+
+    def test_free_never_allocated(self):
+        a = NsdAllocator(0, 10)
+        with pytest.raises(ValueError):
+            a.free(5)
+
+    def test_counters(self):
+        a = NsdAllocator(0, 10)
+        a.alloc()
+        assert a.allocated == 1
+        assert a.free_blocks == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NsdAllocator(0, 0)
+
+
+class TestAllocationMap:
+    def test_totals(self):
+        m = AllocationMap({0: 10, 1: 20})
+        assert m.total_blocks == 30
+        assert m.free_blocks == 30
+        m.alloc_on(0)
+        assert m.allocated_blocks == 1
+        assert m.utilization() == pytest.approx(1 / 30)
+
+    def test_per_nsd_isolation(self):
+        m = AllocationMap({0: 1, 1: 10})
+        m.alloc_on(0)
+        with pytest.raises(OutOfSpaceError):
+            m.alloc_on(0)
+        m.alloc_on(1)  # other NSD unaffected
+
+    def test_unknown_nsd(self):
+        m = AllocationMap({0: 1})
+        with pytest.raises(KeyError):
+            m.alloc_on(7)
+        with pytest.raises(KeyError):
+            m.free_on(7, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AllocationMap({})
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_alloc_free_invariants(ops):
+    """Random alloc/free sequence: no double allocation, counts consistent."""
+    a = NsdAllocator(0, 64)
+    live = set()
+    for do_alloc in ops:
+        if do_alloc and a.free_blocks > 0:
+            b = a.alloc()
+            assert b not in live
+            live.add(b)
+        elif live:
+            b = live.pop()
+            a.free(b)
+        assert a.allocated == len(live)
+        assert a.free_blocks == 64 - len(live)

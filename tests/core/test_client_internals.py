@@ -1,0 +1,165 @@
+"""Unit tests for MountedFs internals: read-ahead, token runs, throttling."""
+
+import pytest
+
+from repro.core.tokens import RO, RW
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+
+def make(readahead=8, **kw):
+    g, cluster, fs, _ = small_gfs(**kw)
+    m = mounted(g, cluster, node="c0", readahead=readahead)
+    return g, fs, m
+
+
+def write_file(g, m, path, nbytes):
+    def io():
+        h = yield m.open(path, "w", create=True)
+        yield m.write(h, b"\xab" * nbytes)
+        yield m.close(h)
+
+    run_io(g, io())
+
+
+class TestReadAhead:
+    def test_sequential_reads_prefetch_ahead(self):
+        g, fs, m = make(readahead=8)
+        write_file(g, m, "/f", 32 * fs.block_size)
+        ino = fs.namespace.resolve("/f").ino
+        m.pool.invalidate(ino)
+
+        def io():
+            h = yield m.open("/f", "r")
+            yield m.read(h, fs.block_size)
+            yield m.read(h, fs.block_size)
+            return h._ra_edge
+
+        edge = run_io(g, io())
+        # after reading block 1, blocks up to 1+8 are prefetched
+        assert edge == 9
+
+    def test_random_reads_do_not_prefetch(self):
+        g, fs, m = make(readahead=8)
+        write_file(g, m, "/f", 32 * fs.block_size)
+        ino = fs.namespace.resolve("/f").ino
+        m.pool.invalidate(ino)
+
+        def io():
+            h = yield m.open("/f", "r")
+            yield m.pread(h, 20 * fs.block_size, 100)
+            yield m.pread(h, 3 * fs.block_size, 100)
+            return h._ra_edge
+
+        assert run_io(g, io()) == -1  # never triggered
+
+    def test_readahead_zero_disables(self):
+        g, fs, m = make(readahead=0)
+        write_file(g, m, "/f", 8 * fs.block_size)
+        ino = fs.namespace.resolve("/f").ino
+        m.pool.invalidate(ino)
+
+        def io():
+            h = yield m.open("/f", "r")
+            yield m.read(h, fs.block_size)
+            yield m.read(h, fs.block_size)
+            return fs.service.blocks_read
+
+        # exactly the two touched blocks fetched, nothing speculative
+        assert run_io(g, io()) == 2
+
+    def test_readahead_stops_at_eof(self):
+        g, fs, m = make(readahead=16)
+        write_file(g, m, "/f", 3 * fs.block_size)
+        ino = fs.namespace.resolve("/f").ino
+        m.pool.invalidate(ino)
+
+        def io():
+            h = yield m.open("/f", "r")
+            yield m.read(h, fs.block_size)
+            yield m.read(h, fs.block_size)
+            yield m.fsync(h)  # settle
+            return h._ra_edge
+
+        assert run_io(g, io()) <= 2  # never past the last block
+
+
+class TestTokenRunDoubling:
+    def test_streaming_pays_log_token_rpcs(self):
+        g, fs, m = make()
+        nblocks = 64
+        write_file(g, m, "/f", nblocks * fs.block_size)
+        # one open+streaming write: acquisitions far below block count
+        assert m.tokens.acquisitions < 10
+
+    def test_run_resets_per_handle(self):
+        g, fs, m = make()
+        write_file(g, m, "/a", 4 * fs.block_size)
+
+        def io():
+            h = yield m.open("/b", "w", create=True)
+            yield m.write(h, b"x")
+            return h._token_run
+
+        run = run_io(g, io())
+        assert run == m.TOKEN_RUN_MIN * fs.block_size
+
+    def test_block_rounding(self):
+        g, fs, m = make()
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.pwrite(h, 100, b"tiny")  # bytes 100..104
+            return None
+
+        run_io(g, io())
+        ino = fs.namespace.resolve("/f").ino
+        ranges = fs.token_manager.client_ranges(ino, "c0", mode=RW)
+        (start, end), = ranges
+        assert start % fs.block_size == 0
+        assert end % fs.block_size == 0 or end >= 1 << 61  # whole-file grant
+
+
+class TestWriteThrottle:
+    def test_dirty_blocks_bounded_during_large_write(self):
+        g, fs, m = make(blocks_per_nsd=8192)
+        limit = m._max_dirty_blocks
+
+        def io2():
+            h = yield m.open("/big", "w", create=True)
+            yield m.write(h, b"z" * (3 * limit) * fs.block_size)
+            assert m.pool.total_dirty_blocks <= limit + 1
+            yield m.close(h)
+
+        run_io(g, io2())
+        assert m.pool.total_dirty_blocks == 0  # close drained everything
+
+
+class TestMountValidation:
+    def test_bad_access(self):
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ValueError):
+            mounted(g, cluster, node="c0", access="append")
+
+    def test_bad_readahead(self):
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ValueError):
+            mounted(g, cluster, node="c0", readahead=-1)
+
+    def test_bad_open_mode(self):
+        g, fs, m = make()
+        with pytest.raises(ValueError):
+            m.open("/f", "z")
+
+    def test_foreign_handle_rejected(self):
+        g, cluster, fs, _ = small_gfs()
+        m0 = mounted(g, cluster, node="c0")
+        m1 = mounted(g, cluster, node="c1")
+
+        def io():
+            h = yield m0.open("/f", "w", create=True)
+            return h
+
+        h = run_io(g, io())
+        with pytest.raises(ValueError, match="different mount"):
+            m1.read(h, 1)

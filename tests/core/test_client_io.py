@@ -1,0 +1,421 @@
+"""End-to-end IO tests on the mounted filesystem (data integrity + semantics)."""
+
+import hashlib
+
+import pytest
+
+from repro.core.client import Identity
+from repro.core.namespace import NoSuchFile, PermissionDenied
+from repro.util.units import KiB
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+
+@pytest.fixture()
+def bed():
+    g, cluster, fs, clients = small_gfs()
+    m = mounted(g, cluster, node="c0")
+    return g, cluster, fs, m
+
+
+def patterned(n, seed=7):
+    """Deterministic non-trivial bytes."""
+    out = bytearray()
+    h = hashlib.sha256(str(seed).encode()).digest()
+    while len(out) < n:
+        out.extend(h)
+        h = hashlib.sha256(h).digest()
+    return bytes(out[:n])
+
+
+class TestRoundtrip:
+    def test_small_file(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, b"hello")
+            yield m.close(h)
+            h = yield m.open("/f", "r")
+            data = yield m.read(h, 100)
+            return data
+
+        assert run_io(g, io()) == b"hello"
+
+    def test_multi_block_integrity(self, bed):
+        g, _, fs, m = bed
+        payload = patterned(int(3.5 * fs.block_size))
+
+        def io():
+            h = yield m.open("/big", "w", create=True)
+            yield m.write(h, payload)
+            yield m.close(h)
+            h = yield m.open("/big", "r")
+            data = yield m.read(h, len(payload) + 10)
+            return data
+
+        assert run_io(g, io()) == payload
+
+    def test_data_lands_on_multiple_nsds(self, bed):
+        g, _, fs, m = bed
+        payload = patterned(4 * fs.block_size)
+
+        def io():
+            h = yield m.open("/spread", "w", create=True)
+            yield m.write(h, payload)
+            yield m.close(h)
+
+        run_io(g, io())
+        inode = fs.namespace.resolve("/spread")
+        nsd_ids = {placement[0] for placement in inode.blocks.values()}
+        assert len(nsd_ids) == 4  # striped across all NSDs
+
+    def test_overwrite_middle(self, bed):
+        g, _, fs, m = bed
+        payload = patterned(2 * fs.block_size)
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, payload)
+            yield m.fsync(h)
+            yield m.pwrite(h, 1000, b"X" * 50)
+            yield m.close(h)
+            h = yield m.open("/f", "r")
+            return (yield m.read(h, len(payload)))
+
+        expected = payload[:1000] + b"X" * 50 + payload[1050:]
+        assert run_io(g, io()) == expected
+
+    def test_rmw_partial_block_after_remount_cache_cold(self, bed):
+        g, cluster, fs, m = bed
+        payload = patterned(fs.block_size)
+
+        def write_io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, payload)
+            yield m.close(h)
+
+        run_io(g, write_io())
+        # second client with a cold cache partially overwrites the block
+        m2 = mounted(g, cluster, node="c1")
+
+        def rmw_io():
+            h = yield m2.open("/f", "r+")
+            yield m2.pwrite(h, 100, b"Y" * 10)
+            yield m2.close(h)
+            h = yield m2.open("/f", "r")
+            return (yield m2.read(h, fs.block_size))
+
+        expected = payload[:100] + b"Y" * 10 + payload[110:]
+        assert run_io(g, rmw_io()) == expected
+
+    def test_sparse_read_returns_zeros(self, bed):
+        g, _, fs, m = bed
+
+        def io():
+            h = yield m.open("/sparse", "w", create=True)
+            yield m.pwrite(h, 2 * fs.block_size, b"end")
+            yield m.close(h)
+            h = yield m.open("/sparse", "r")
+            return (yield m.read(h, 2 * fs.block_size + 3))
+
+        data = run_io(g, io())
+        assert data[: 2 * fs.block_size] == bytes(2 * fs.block_size)
+        assert data[-3:] == b"end"
+
+    def test_read_past_eof_short(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/f", "w+", create=True)
+            yield m.write(h, b"12345")
+            yield m.fsync(h)
+            return (yield m.pread(h, 3, 100))
+
+        assert run_io(g, io()) == b"45"
+
+    def test_read_empty_file(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            h2 = yield m.open("/f", "r")
+            return (yield m.read(h2, 10))
+
+        assert run_io(g, io()) == b""
+
+    def test_append_mode(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/log", "w", create=True)
+            yield m.write(h, b"one")
+            yield m.close(h)
+            h = yield m.open("/log", "a")
+            yield m.write(h, b"two")
+            yield m.close(h)
+            h = yield m.open("/log", "r")
+            return (yield m.read(h, 100))
+
+        assert run_io(g, io()) == b"onetwo"
+
+    def test_w_mode_truncates(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, b"long old content")
+            yield m.close(h)
+            h = yield m.open("/f", "w")
+            yield m.write(h, b"new")
+            yield m.close(h)
+            h = yield m.open("/f", "r")
+            return (yield m.read(h, 100))
+
+        assert run_io(g, io()) == b"new"
+
+
+class TestDurabilityAndCache:
+    def test_write_is_write_behind(self, bed):
+        g, _, fs, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, patterned(fs.block_size))
+            return fs.service.blocks_written
+
+        # at the instant write() returns, the flush may not have finished
+        written_at_return = run_io(g, io())
+        g.run()  # drain
+        assert fs.service.blocks_written >= 1
+        assert written_at_return <= fs.service.blocks_written
+
+    def test_fsync_forces_durability(self, bed):
+        g, _, fs, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, patterned(2 * fs.block_size))
+            yield m.fsync(h)
+            return fs.service.blocks_written
+
+        assert run_io(g, io()) == 2
+
+    def test_second_read_hits_cache(self, bed):
+        g, _, fs, m = bed
+        payload = patterned(fs.block_size)
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, payload)
+            yield m.close(h)
+            h = yield m.open("/f", "r")
+            yield m.read(h, fs.block_size)
+            before = fs.service.blocks_read
+            h.seek(0)
+            yield m.read(h, fs.block_size)
+            return before, fs.service.blocks_read
+
+        before, after = run_io(g, io())
+        assert after == before  # no new NSD reads
+
+    def test_closed_handle_rejected(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.close(h)
+            return h
+
+        h = run_io(g, io())
+        with pytest.raises(ValueError, match="closed"):
+            m.read(h, 1)
+
+
+class TestCrossClientCoherence:
+    def test_reader_sees_writer_update(self, bed):
+        g, cluster, fs, m_writer = bed
+        m_reader = mounted(g, cluster, node="c1")
+        payload1 = patterned(fs.block_size, seed=1)
+        payload2 = patterned(fs.block_size, seed=2)
+
+        def io():
+            h = yield m_writer.open("/shared", "w", create=True)
+            yield m_writer.write(h, payload1)
+            yield m_writer.fsync(h)
+            # reader caches version 1
+            hr = yield m_reader.open("/shared", "r")
+            v1 = yield m_reader.read(hr, fs.block_size)
+            # writer overwrites → revokes reader's token, invalidates cache
+            yield m_writer.pwrite(h, 0, payload2)
+            yield m_writer.fsync(h)
+            # reader re-reads: must see version 2
+            hr.seek(0)
+            v2 = yield m_reader.read(hr, fs.block_size)
+            return v1, v2
+
+        v1, v2 = run_io(g, io())
+        assert v1 == payload1
+        assert v2 == payload2
+
+    def test_write_write_last_writer_wins(self, bed):
+        g, cluster, fs, m0 = bed
+        m1 = mounted(g, cluster, node="c1")
+
+        def io():
+            h0 = yield m0.open("/f", "w", create=True)
+            yield m0.write(h0, b"A" * 100)
+            yield m0.fsync(h0)
+            h1 = yield m1.open("/f", "r+")
+            yield m1.pwrite(h1, 0, b"B" * 100)
+            yield m1.fsync(h1)
+            hr = yield m0.open("/f", "r")
+            return (yield m0.read(hr, 100))
+
+        assert run_io(g, io()) == b"B" * 100
+
+
+class TestPermissions:
+    def test_ro_mount_cannot_write(self, bed):
+        g, cluster, fs, m = bed
+        m_ro = mounted(g, cluster, node="c1", access="ro")
+
+        def create_io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, b"x")
+            yield m.close(h)
+
+        run_io(g, create_io())
+
+        def ro_io():
+            try:
+                yield m_ro.open("/f", "w")
+            except PermissionDenied:
+                return "denied"
+
+        assert run_io(g, ro_io()) == "denied"
+
+    def test_ro_mount_can_read(self, bed):
+        g, cluster, fs, m = bed
+
+        def create_io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, b"data")
+            yield m.close(h)
+
+        run_io(g, create_io())
+        m_ro = mounted(g, cluster, node="c1", access="ro")
+
+        def ro_io():
+            h = yield m_ro.open("/f", "r")
+            return (yield m_ro.read(h, 10))
+
+        assert run_io(g, ro_io()) == b"data"
+
+    def test_other_user_mode_bits(self, bed):
+        g, cluster, fs, m = bed
+        alice = Identity(uid=500, username="alice")
+        bob = Identity(uid=501, username="bob")
+        m_alice = mounted(g, cluster, node="c1", identity=alice)
+
+        def create_io():
+            h = yield m_alice.open("/private", "w", create=True)
+            yield m_alice.write(h, b"secret")
+            yield m_alice.close(h)
+
+        run_io(g, create_io())
+        fs.namespace.resolve("/private").mode = 0o600
+        m_bob = mounted(g, cluster, node="c0", identity=bob)
+
+        def bob_io():
+            try:
+                yield m_bob.open("/private", "r")
+            except PermissionDenied:
+                return "denied"
+
+        assert run_io(g, bob_io()) == "denied"
+
+        def owner_io():
+            h = yield m_alice.open("/private", "r")
+            return (yield m_alice.read(h, 10))
+
+        assert run_io(g, owner_io()) == b"secret"
+
+
+class TestMetadataOps:
+    def test_mkdir_listdir(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            yield m.mkdir("/data")
+            h = yield m.open("/data/f1", "w", create=True)
+            yield m.close(h)
+            return (yield m.listdir("/data"))
+
+        assert run_io(g, io()) == ["f1"]
+
+    def test_stat(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, b"x" * 123)
+            yield m.close(h)
+            return (yield m.stat("/f"))
+
+        inode = run_io(g, io())
+        assert inode.size == 123
+
+    def test_unlink_frees_space(self, bed):
+        g, _, fs, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, patterned(2 * fs.block_size))
+            yield m.close(h)
+            used = fs.used_bytes
+            yield m.unlink("/f")
+            return used, fs.used_bytes
+
+        used_before, used_after = run_io(g, io())
+        assert used_before == 2 * fs.block_size
+        assert used_after == 0
+
+    def test_unlink_missing(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            try:
+                yield m.unlink("/ghost")
+            except NoSuchFile:
+                return "missing"
+
+        assert run_io(g, io()) == "missing"
+
+    def test_rename(self, bed):
+        g, _, _, m = bed
+
+        def io():
+            h = yield m.open("/old", "w", create=True)
+            yield m.write(h, b"content")
+            yield m.close(h)
+            yield m.rename("/old", "/new")
+            h = yield m.open("/new", "r")
+            return (yield m.read(h, 10))
+
+        assert run_io(g, io()) == b"content"
+
+    def test_truncate(self, bed):
+        g, _, fs, m = bed
+
+        def io():
+            h = yield m.open("/f", "w", create=True)
+            yield m.write(h, patterned(3 * fs.block_size))
+            yield m.fsync(h)
+            yield m.truncate(h, 100)
+            st = yield m.stat("/f")
+            return st.size, len(st.blocks)
+
+        size, nblocks = run_io(g, io())
+        assert size == 100
+        assert nblocks == 1

@@ -1,0 +1,180 @@
+"""Tests for Gfs/Cluster administration (mm* command surface)."""
+
+import pytest
+
+from repro.core.cluster import ClusterError, Gfs, NsdSpec
+from repro.util.units import Gbps, KiB, MiB
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+
+class TestGfs:
+    def test_duplicate_cluster_rejected(self):
+        g = Gfs()
+        g.add_cluster("sdsc")
+        with pytest.raises(ClusterError):
+            g.add_cluster("sdsc")
+
+    def test_unknown_cluster(self):
+        g = Gfs()
+        with pytest.raises(ClusterError):
+            g.cluster("ghost")
+
+    def test_node_membership_tracked(self):
+        g, cluster, fs, _ = small_gfs()
+        assert g.cluster_of_node("c0") is cluster
+        assert g.cluster_of_node("sw") is None
+
+    def test_node_in_two_clusters_rejected(self):
+        g, cluster, fs, _ = small_gfs()
+        other = g.add_cluster("ncsa")
+        with pytest.raises(ClusterError):
+            other.add_node("c0")
+
+    def test_unknown_node_rejected(self):
+        g = Gfs()
+        c = g.add_cluster("sdsc")
+        with pytest.raises(ClusterError):
+            c.add_node("not-on-network")
+
+
+class TestMmcrfs:
+    def test_basic_creation(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=4, blocks_per_nsd=100, block_size=KiB(256))
+        assert fs.capacity == 4 * 100 * KiB(256)
+        assert len(fs.nsds) == 4
+
+    def test_duplicate_device_rejected(self):
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ClusterError):
+            cluster.mmcrfs("gpfs0", [NsdSpec(server="nsd0", blocks=10)])
+
+    def test_foreign_server_rejected(self):
+        g, cluster, fs, _ = small_gfs()
+        g.network.add_host("intruder", "sw", Gbps(1))
+        with pytest.raises(ClusterError):
+            cluster.mmcrfs("gpfs1", [NsdSpec(server="intruder", blocks=10)])
+
+    def test_empty_specs_rejected(self):
+        g, cluster, _, _ = small_gfs()
+        with pytest.raises(ClusterError):
+            cluster.mmcrfs("gpfs1", [])
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            NsdSpec(server="x", blocks=0)
+
+    def test_filesystem_lookup(self):
+        g, cluster, fs, _ = small_gfs()
+        assert cluster.filesystem("gpfs0") is fs
+        with pytest.raises(ClusterError):
+            cluster.filesystem("nope")
+
+
+class TestMmmount:
+    def test_local_mount(self):
+        g, cluster, fs, _ = small_gfs()
+        m = mounted(g, cluster, node="c0")
+        assert m.fs is fs
+        assert m in fs.mounts
+
+    def test_mount_from_foreign_node_rejected(self):
+        g, cluster, fs, _ = small_gfs()
+        g.network.add_host("stray", "sw", Gbps(1))
+        with pytest.raises(ClusterError):
+            cluster.mmmount("gpfs0", "stray")
+
+    def test_unknown_device_rejected(self):
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ClusterError):
+            cluster.mmmount("nope", "c0")
+
+    def test_mount_takes_metadata_rtt(self):
+        g, cluster, fs, _ = small_gfs()
+        evt = cluster.mmmount("gpfs0", "c0")
+        g.run(until=evt)
+        assert g.sim.now > 0
+
+
+class TestUsers:
+    def test_add_user_identity(self):
+        g, cluster, _, _ = small_gfs()
+        ident = cluster.add_user("alice", uid=5001, dn="/CN=alice")
+        assert ident.uid == 5001
+        assert ident.dn == "/CN=alice"
+
+    def test_identity_for_dn(self):
+        g, cluster, _, _ = small_gfs()
+        cluster.add_user("alice", uid=5001, dn="/CN=alice")
+        ident = cluster.identity_for_dn("/CN=alice")
+        assert ident.uid == 5001 and ident.dn == "/CN=alice"
+        classic = cluster.identity_for_dn("/CN=alice", use_dn_ownership=False)
+        assert classic.dn is None
+
+    def test_unmapped_dn(self):
+        g, cluster, _, _ = small_gfs()
+        with pytest.raises(KeyError):
+            cluster.identity_for_dn("/CN=stranger")
+
+
+class TestMmauthAdmin:
+    def test_genkey(self):
+        g, cluster, _, _ = small_gfs()
+        pub = cluster.mmauth_genkey()
+        assert cluster.keystore.has_own
+        assert pub == cluster.keystore.own.public
+
+    def test_genkey_deterministic_per_cluster(self):
+        g1 = small_gfs(seed=5)[0:2]
+        g2 = small_gfs(seed=5)[0:2]
+        assert g1[1].mmauth_genkey() == g2[1].mmauth_genkey()
+
+    def test_grant_requires_existing_fs(self):
+        g, cluster, _, _ = small_gfs()
+        with pytest.raises(ClusterError):
+            cluster.mmauth_grant("ncsa", "nope", "ro")
+        cluster.mmauth_grant("ncsa", "gpfs0", "ro")
+        assert cluster.granted_access("ncsa", "gpfs0") == "ro"
+        assert cluster.granted_access("ncsa", "other") is None
+
+    def test_grant_access_validated(self):
+        g, cluster, _, _ = small_gfs()
+        with pytest.raises(ValueError):
+            cluster.mmauth_grant("ncsa", "gpfs0", "admin")
+
+    def test_cipher_update(self):
+        g, cluster, _, _ = small_gfs()
+        cluster.mmauth_update("AUTHONLY")
+        assert cluster.cipher.name == "AUTHONLY"
+        with pytest.raises(KeyError):
+            cluster.mmauth_update("ROT13")
+
+    def test_cipher_change_blocked_with_active_mounts(self):
+        g, cluster, _, _ = small_gfs()
+        cluster.active_remote_mounts = 1
+        with pytest.raises(ClusterError):
+            cluster.mmauth_update("AES128")
+        with pytest.raises(ClusterError):
+            cluster.mmauth_genkey()
+
+
+class TestRemoteDefs:
+    def test_mmremotefs_requires_cluster_def(self):
+        g, cluster, _, _ = small_gfs()
+        with pytest.raises(ClusterError):
+            cluster.mmremotefs_add("remote-gpfs", "sdsc2", "gpfs0")
+
+    def test_mmremotecluster_validation(self):
+        g, cluster, _, _ = small_gfs()
+        other_key = small_gfs(seed=9)[1].mmauth_genkey()
+        with pytest.raises(ClusterError):
+            cluster.mmremotecluster_add("ncsa", other_key, [])
+        cluster.mmremotecluster_add("ncsa", other_key, ["contact0"])
+        assert "ncsa" in cluster.remote_clusters
+
+    def test_device_name_collision(self):
+        g, cluster, _, _ = small_gfs()
+        key = small_gfs(seed=9)[1].mmauth_genkey()
+        cluster.mmremotecluster_add("ncsa", key, ["n0"])
+        with pytest.raises(ClusterError):
+            cluster.mmremotefs_add("gpfs0", "ncsa", "whatever")  # local name taken

@@ -1,0 +1,70 @@
+"""Unit tests for the Filesystem object itself."""
+
+import pytest
+
+from repro.core.inode import FileType
+
+from tests.core.testbed import small_gfs
+
+
+class TestPlacement:
+    def test_nsd_id_round_robin_with_rotation(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        ids_file_a = [fs.nsd_id_for(ino=10, block_index=b) for b in range(4)]
+        ids_file_b = [fs.nsd_id_for(ino=11, block_index=b) for b in range(4)]
+        assert sorted(ids_file_a) == sorted(ids_file_b) == [0, 1, 2, 3]
+        assert ids_file_a != ids_file_b  # per-file rotation offset
+
+    def test_ensure_block_idempotent(self):
+        g, cluster, fs, _ = small_gfs()
+        inode = fs.inodes.allocate(FileType.FILE, now=0.0)
+        first = fs.ensure_block(inode, 3)
+        second = fs.ensure_block(inode, 3)
+        assert first == second
+        assert fs.allocation.allocated_blocks == 1
+
+    def test_free_from_block(self):
+        g, cluster, fs, _ = small_gfs()
+        inode = fs.inodes.allocate(FileType.FILE, now=0.0)
+        for b in range(6):
+            fs.ensure_block(inode, b)
+        freed = fs.free_file_blocks(inode, from_block=4)
+        assert freed == 2
+        assert sorted(inode.blocks) == [0, 1, 2, 3]
+
+    def test_capacity_accounting(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=2, blocks_per_nsd=10)
+        assert fs.capacity == 20 * fs.block_size
+        inode = fs.inodes.allocate(FileType.FILE, now=0.0)
+        fs.ensure_block(inode, 0)
+        assert fs.used_bytes == fs.block_size
+        assert fs.free_bytes == 19 * fs.block_size
+
+
+class TestStats:
+    def test_stats_keys(self):
+        g, cluster, fs, _ = small_gfs()
+        stats = fs.stats()
+        for key in ("capacity", "used", "blocks_read", "blocks_written",
+                    "token_grants", "token_revokes"):
+            assert key in stats
+
+
+class TestConstruction:
+    def test_block_size_mismatch_rejected(self):
+        from repro.core.filesystem import Filesystem
+        from repro.core.nsd import Nsd
+
+        g, cluster, fs, _ = small_gfs()
+        bad_nsd = Nsd(0, "bad", total_blocks=8, block_size=999)
+        with pytest.raises(ValueError, match="block size"):
+            Filesystem(g.sim, "x", fs.block_size, [bad_nsd], fs.service,
+                       g.messages, "nsd0")
+
+    def test_empty_nsds_rejected(self):
+        from repro.core.filesystem import Filesystem
+
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ValueError, match="at least one NSD"):
+            Filesystem(g.sim, "x", fs.block_size, [], fs.service,
+                       g.messages, "nsd0")

@@ -1,0 +1,71 @@
+"""Unit tests for Gfs.pair_cipher / crypto pipe plumbing."""
+
+import pytest
+
+from repro.core.cluster import Gfs
+from repro.util.units import Gbps
+
+
+def two_clusters(cipher_a="AES128", cipher_b="AES256"):
+    g = Gfs()
+    net = g.network
+    net.add_node("sw", kind="switch")
+    net.add_host("a0", "sw", Gbps(1))
+    net.add_host("a1", "sw", Gbps(1))
+    net.add_host("b0", "sw", Gbps(1))
+    ca = g.add_cluster("alpha")
+    ca.add_nodes(["a0", "a1"])
+    cb = g.add_cluster("beta")
+    cb.add_node("b0")
+    ca.mmauth_update(cipher_a)
+    cb.mmauth_update(cipher_b)
+    return g
+
+
+class TestPairCipher:
+    def test_intra_cluster_none(self):
+        g = two_clusters()
+        assert g.pair_cipher("a0", "a1") is None
+
+    def test_cross_cluster_uses_stricter(self):
+        g = two_clusters("AES128", "AES256")
+        policy = g.pair_cipher("a0", "b0")
+        assert policy.name == "AES256"  # slower crypto wins
+
+    def test_non_encrypting_pair_none(self):
+        g = two_clusters("AUTHONLY", "AUTHONLY")
+        assert g.pair_cipher("a0", "b0") is None
+
+    def test_one_side_encrypting_applies(self):
+        g = two_clusters("AES128", "AUTHONLY")
+        assert g.pair_cipher("a0", "b0").name == "AES128"
+
+    def test_unknown_node_none(self):
+        g = two_clusters()
+        g.network.add_node("stray")
+        assert g.pair_cipher("a0", "stray") is None
+
+
+class TestCryptoPipes:
+    def test_two_node_pipes_returned(self):
+        g = two_clusters()
+        pipes = g.crypto_pipes_for("a0", "b0")
+        assert len(pipes) == 2
+        assert {p.name for p in pipes} == {"crypto:a0", "crypto:b0"}
+
+    def test_pipes_shared_per_node(self):
+        g = two_clusters()
+        first = g.crypto_pipes_for("a0", "b0")
+        second = g.crypto_pipes_for("b0", "a0")
+        assert set(map(id, first)) == set(map(id, second))
+
+    def test_no_pipes_without_encryption(self):
+        g = two_clusters("AUTHONLY", "EMPTY")
+        assert g.crypto_pipes_for("a0", "b0") == []
+
+    def test_pipe_rate_matches_policy(self):
+        g = two_clusters("3DES", "3DES")
+        pipes = g.crypto_pipes_for("a0", "b0")
+        from repro.auth.cipher import CIPHERS
+
+        assert pipes[0].rate == CIPHERS["3DES"].crypto_rate

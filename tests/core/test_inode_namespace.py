@@ -1,0 +1,162 @@
+"""Tests for inodes and the namespace."""
+
+import pytest
+
+from repro.core.inode import FileType, InodeTable
+from repro.core.namespace import (
+    DirectoryNotEmpty,
+    FileExists,
+    IsADirectory,
+    Namespace,
+    NoSuchFile,
+    NotADirectory,
+    split_path,
+)
+
+
+class TestInodeTable:
+    def test_allocate_unique_inos(self):
+        t = InodeTable()
+        a = t.allocate(FileType.FILE, now=1.0)
+        b = t.allocate(FileType.FILE, now=1.0)
+        assert a.ino != b.ino
+        assert len(t) == 2
+
+    def test_get_and_drop(self):
+        t = InodeTable()
+        a = t.allocate(FileType.FILE, now=0.0)
+        assert t.get(a.ino) is a
+        t.drop(a.ino)
+        assert a.ino not in t
+        with pytest.raises(KeyError):
+            t.get(a.ino)
+
+    def test_timestamps(self):
+        t = InodeTable()
+        a = t.allocate(FileType.FILE, now=42.0)
+        assert a.ctime == a.mtime == a.atime == 42.0
+
+
+class TestOwnerMatching:
+    def test_dn_wins_when_both_present(self):
+        t = InodeTable()
+        inode = t.allocate(FileType.FILE, now=0, uid=500, owner_dn="/CN=alice")
+        # Same DN, different uid (the cross-site case): matches.
+        assert inode.owner_matches(uid=777, dn="/CN=alice")
+        # Different DN, same uid: no match (UID collision across sites!).
+        assert not inode.owner_matches(uid=500, dn="/CN=bob")
+
+    def test_uid_fallback_without_dn(self):
+        t = InodeTable()
+        inode = t.allocate(FileType.FILE, now=0, uid=500)
+        assert inode.owner_matches(uid=500, dn=None)
+        assert not inode.owner_matches(uid=501, dn=None)
+        # caller has a DN but the file doesn't: uid comparison
+        assert inode.owner_matches(uid=500, dn="/CN=alice")
+
+
+class TestSplitPath:
+    def test_normalizes(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+        assert split_path("/a//b/") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            split_path("a/b")
+
+
+class TestNamespace:
+    def setup_method(self):
+        self.inodes = InodeTable()
+        self.ns = Namespace(self.inodes)
+
+    def test_root_exists(self):
+        assert self.ns.resolve("/").is_dir
+
+    def test_create_and_resolve(self):
+        inode = self.ns.create_file("/data.bin", now=1.0, uid=5)
+        got = self.ns.resolve("/data.bin")
+        assert got is inode
+        assert got.uid == 5
+
+    def test_nested(self):
+        self.ns.mkdir("/a", now=0)
+        self.ns.mkdir("/a/b", now=0)
+        self.ns.create_file("/a/b/f", now=0)
+        assert self.ns.resolve("/a/b/f").is_file
+        assert self.ns.listdir("/a") == ["b"]
+
+    def test_duplicate_rejected(self):
+        self.ns.create_file("/x", now=0)
+        with pytest.raises(FileExists):
+            self.ns.create_file("/x", now=0)
+        with pytest.raises(FileExists):
+            self.ns.mkdir("/x", now=0)
+
+    def test_missing_parent(self):
+        with pytest.raises(NoSuchFile):
+            self.ns.create_file("/no/such/file", now=0)
+
+    def test_file_as_directory(self):
+        self.ns.create_file("/f", now=0)
+        with pytest.raises(NotADirectory):
+            self.ns.create_file("/f/child", now=0)
+        with pytest.raises(NotADirectory):
+            self.ns.listdir("/f")
+
+    def test_unlink(self):
+        self.ns.create_file("/f", now=0)
+        inode = self.ns.unlink("/f", now=1)
+        assert inode.nlink == 0
+        assert not self.ns.exists("/f")
+
+    def test_unlink_directory_rejected(self):
+        self.ns.mkdir("/d", now=0)
+        with pytest.raises(IsADirectory):
+            self.ns.unlink("/d", now=0)
+
+    def test_rmdir(self):
+        self.ns.mkdir("/d", now=0)
+        self.ns.rmdir("/d", now=1)
+        assert not self.ns.exists("/d")
+
+    def test_rmdir_nonempty(self):
+        self.ns.mkdir("/d", now=0)
+        self.ns.create_file("/d/f", now=0)
+        with pytest.raises(DirectoryNotEmpty):
+            self.ns.rmdir("/d", now=0)
+
+    def test_rmdir_on_file(self):
+        self.ns.create_file("/f", now=0)
+        with pytest.raises(NotADirectory):
+            self.ns.rmdir("/f", now=0)
+
+    def test_rename(self):
+        self.ns.create_file("/old", now=0)
+        self.ns.mkdir("/dir", now=0)
+        self.ns.rename("/old", "/dir/new", now=1)
+        assert not self.ns.exists("/old")
+        assert self.ns.resolve("/dir/new").is_file
+
+    def test_rename_over_existing_rejected(self):
+        self.ns.create_file("/a", now=0)
+        self.ns.create_file("/b", now=0)
+        with pytest.raises(FileExists):
+            self.ns.rename("/a", "/b", now=0)
+
+    def test_rename_missing(self):
+        with pytest.raises(NoSuchFile):
+            self.ns.rename("/ghost", "/new", now=0)
+
+    def test_walk(self):
+        self.ns.mkdir("/a", now=0)
+        self.ns.create_file("/a/f1", now=0)
+        self.ns.mkdir("/a/sub", now=0)
+        self.ns.create_file("/b", now=0)
+        assert self.ns.walk() == ["/a", "/a/f1", "/a/sub", "/b"]
+
+    def test_listdir_sorted(self):
+        for name in ["zeta", "alpha", "mid"]:
+            self.ns.create_file(f"/{name}", now=0)
+        assert self.ns.listdir("/") == ["alpha", "mid", "zeta"]

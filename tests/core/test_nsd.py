@@ -1,0 +1,92 @@
+"""Tests for the NSD block layer (store/fetch, service, server tags)."""
+
+import pytest
+
+from repro.core.nsd import Nsd, NsdServer
+from repro.sim import Simulation
+from repro.storage import Hba, make_ds4100
+
+
+class TestNsdStore:
+    def make(self, store_data=True):
+        return Nsd(nsd_id=0, name="nsd0", total_blocks=8, block_size=1024,
+                   store_data=store_data)
+
+    def test_store_fetch_roundtrip(self):
+        nsd = self.make()
+        nsd.store(3, 100, b"hello")
+        assert nsd.fetch(3, 100, 5) == b"hello"
+
+    def test_fetch_zero_fills_unwritten(self):
+        nsd = self.make()
+        assert nsd.fetch(0, 0, 10) == bytes(10)
+        nsd.store(0, 5, b"xy")
+        assert nsd.fetch(0, 0, 8) == b"\x00" * 5 + b"xy" + b"\x00"
+
+    def test_merge_preserves_neighbours(self):
+        nsd = self.make()
+        nsd.store(0, 0, b"AAAA")
+        nsd.store(0, 2, b"bb")
+        assert nsd.fetch(0, 0, 4) == b"AAbb"
+
+    def test_bounds_checked(self):
+        nsd = self.make()
+        with pytest.raises(ValueError):
+            nsd.store(99, 0, b"x")
+        with pytest.raises(ValueError):
+            nsd.store(0, 1020, b"xxxxx")
+        with pytest.raises(ValueError):
+            nsd.fetch(0, 1000, 100)
+
+    def test_size_only_mode(self):
+        nsd = self.make(store_data=False)
+        nsd.store(0, 0, b"data")
+        assert nsd.fetch(0, 0, 4) == bytes(4)  # zeros, but counted
+        assert nsd.writes == 1 and nsd.reads == 1
+
+    def test_trim(self):
+        nsd = self.make()
+        nsd.store(0, 0, b"ABCDEFGH")
+        nsd.trim(0, 3)
+        assert nsd.fetch(0, 0, 8) == b"ABC" + bytes(5)
+        with pytest.raises(ValueError):
+            nsd.trim(0, 9999)
+
+    def test_discard(self):
+        nsd = self.make()
+        nsd.store(0, 0, b"gone")
+        nsd.discard(0)
+        assert nsd.fetch(0, 0, 4) == bytes(4)
+
+    def test_capacity(self):
+        nsd = self.make()
+        assert nsd.capacity == 8 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nsd(0, "x", total_blocks=0, block_size=1024)
+
+
+class TestNsdServer:
+    def test_disk_io_through_hba_and_lun(self):
+        sim = Simulation()
+        array = make_ds4100(sim, "b0")
+        nsd = Nsd(0, "n", total_blocks=8, block_size=1 << 20, lun=array.luns[0])
+        server = NsdServer("node0", [nsd], hba=Hba(sim))
+        evt = server.disk_io(sim, nsd, "read", 1 << 20)
+        sim.run(until=evt)
+        assert sim.now > 0
+        assert server.bytes_served == 1 << 20
+
+    def test_diskless_server_instant(self):
+        sim = Simulation()
+        nsd = Nsd(0, "n", total_blocks=8, block_size=1024)
+        server = NsdServer("node0", [nsd])
+        evt = server.disk_io(sim, nsd, "write", 1024)
+        sim.run(until=evt)
+        assert sim.now == 0.0
+
+    def test_tags_carried(self):
+        nsd = Nsd(0, "n", total_blocks=8, block_size=1024)
+        server = NsdServer("node0", [nsd], tags=("lane2",))
+        assert server.tags == ("lane2",)

@@ -1,0 +1,146 @@
+"""Tests for the page pool."""
+
+import pytest
+
+from repro.core.pagepool import PagePool
+
+
+def pool(capacity_blocks=4, block_size=1024):
+    return PagePool(capacity_blocks * block_size, block_size)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        p = pool()
+        assert p.get(1, 0) is None
+        p.put_clean(1, 0, b"x" * 10, 10)
+        entry = p.get(1, 0)
+        assert entry is not None and entry.data == b"x" * 10
+        assert p.hits == 1 and p.misses == 1
+
+    def test_peek_no_stats(self):
+        p = pool()
+        p.put_clean(1, 0, b"", 0)
+        p.peek(1, 0)
+        p.peek(9, 9)
+        assert p.hits == 0 and p.misses == 0
+
+    def test_contains(self):
+        p = pool()
+        p.put_clean(1, 0, b"", 0)
+        assert (1, 0) in p and (1, 1) not in p
+
+    def test_too_small_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PagePool(512, 1024)
+
+
+class TestWriteAndDirty:
+    def test_write_marks_dirty(self):
+        p = pool()
+        p.write(1, 0, 0, b"abc", 3)
+        entry = p.peek(1, 0)
+        assert entry.dirty and entry.dirty_lo == 0 and entry.dirty_hi == 3
+        assert p.dirty_blocks(1) == [0]
+
+    def test_dirty_span_grows(self):
+        p = pool()
+        p.write(1, 0, 10, b"x" * 5, 5)
+        p.write(1, 0, 2, b"y" * 3, 3)
+        entry = p.peek(1, 0)
+        assert (entry.dirty_lo, entry.dirty_hi) == (2, 15)
+
+    def test_write_merges_data(self):
+        p = pool()
+        p.put_clean(1, 0, b"AAAAAAAA", 8)
+        p.write(1, 0, 2, b"bb", 2)
+        assert p.peek(1, 0).data == b"AAbbAAAA"
+
+    def test_write_beyond_existing_zero_fills(self):
+        p = pool()
+        p.write(1, 0, 4, b"zz", 2)
+        assert p.peek(1, 0).data == b"\x00\x00\x00\x00zz"
+
+    def test_size_only_mode(self):
+        p = pool()
+        p.write(1, 0, 0, None, 100)
+        entry = p.peek(1, 0)
+        assert entry.data is None and entry.length == 100 and entry.dirty
+
+    def test_mark_clean(self):
+        p = pool()
+        p.write(1, 0, 0, b"a", 1)
+        p.mark_clean(1, 0)
+        assert not p.peek(1, 0).dirty
+        assert p.dirty_blocks(1) == []
+
+    def test_dirty_range_filter(self):
+        p = pool(capacity_blocks=8)
+        for b in range(4):
+            p.write(1, b, 0, b"d", 1)
+        # blocks 2,3 overlap byte range [2048, 4096)
+        assert p.dirty_blocks(1, 2048, 4096) == [2, 3]
+
+    def test_put_clean_over_dirty_rejected(self):
+        p = pool()
+        p.write(1, 0, 0, b"d", 1)
+        with pytest.raises(ValueError):
+            p.put_clean(1, 0, b"x", 1)
+
+    def test_bounds_checked(self):
+        p = pool()
+        with pytest.raises(ValueError):
+            p.write(1, 0, 1020, b"xxxxx", 5)
+
+
+class TestEviction:
+    def test_lru_evicts_clean(self):
+        p = pool(capacity_blocks=2)
+        p.put_clean(1, 0, b"a", 1)
+        p.put_clean(1, 1, b"b", 1)
+        p.get(1, 0)  # touch 0 → 1 is LRU
+        p.put_clean(1, 2, b"c", 1)
+        assert (1, 1) not in p
+        assert (1, 0) in p
+        assert p.evictions == 1
+
+    def test_dirty_blocks_not_evicted(self):
+        p = pool(capacity_blocks=2)
+        p.write(1, 0, 0, b"d", 1)
+        p.put_clean(1, 1, b"c", 1)
+        p.put_clean(1, 2, b"c", 1)  # must evict (1,1), not the dirty (1,0)
+        assert (1, 0) in p
+        assert (1, 1) not in p
+
+    def test_all_dirty_pool_errors(self):
+        p = pool(capacity_blocks=2)
+        p.write(1, 0, 0, b"d", 1)
+        p.write(1, 1, 0, b"d", 1)
+        with pytest.raises(MemoryError):
+            p.put_clean(1, 2, b"c", 1)
+
+    def test_used_accounting(self):
+        p = pool(capacity_blocks=4)
+        p.put_clean(1, 0, b"a", 1)
+        p.put_clean(1, 1, b"a", 1)
+        assert p.used == 2 * 1024
+        p.invalidate(1, 0)
+        assert p.used == 1024
+
+
+class TestInvalidate:
+    def test_invalidate_one(self):
+        p = pool()
+        p.put_clean(1, 0, b"a", 1)
+        p.invalidate(1, 0)
+        assert (1, 0) not in p
+
+    def test_invalidate_whole_ino_keeps_dirty(self):
+        p = pool()
+        p.put_clean(1, 0, b"a", 1)
+        p.write(1, 1, 0, b"d", 1)
+        p.put_clean(2, 0, b"other", 5)
+        p.invalidate(1)
+        assert (1, 0) not in p
+        assert (1, 1) in p  # dirty survives
+        assert (2, 0) in p  # other ino untouched

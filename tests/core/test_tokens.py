@@ -1,0 +1,210 @@
+"""Tests for byte-range tokens: interval math and the manager protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tokens import (
+    RO,
+    RW,
+    HeldToken,
+    TokenClient,
+    TokenManager,
+    covers,
+    merge_ranges,
+)
+from repro.net.message import MessageService
+from repro.net.topology import Network
+from repro.sim import Simulation
+from repro.util.units import Gbps
+
+
+class TestMergeRanges:
+    def test_empty(self):
+        assert merge_ranges([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_ranges([(5, 7), (0, 2)]) == [(0, 2), (5, 7)]
+
+    def test_overlap_merged(self):
+        assert merge_ranges([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_adjacent_merged(self):
+        assert merge_ranges([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_contained(self):
+        assert merge_ranges([(0, 10), (3, 5)]) == [(0, 10)]
+
+
+class TestCovers:
+    def test_exact(self):
+        assert covers([(0, 10)], 0, 10)
+
+    def test_inside(self):
+        assert covers([(0, 10)], 3, 7)
+
+    def test_gap_fails(self):
+        assert not covers([(0, 5), (6, 10)], 0, 10)
+
+    def test_adjacent_pieces_cover(self):
+        assert covers([(0, 5), (5, 10)], 0, 10)
+
+    def test_empty_never_covers(self):
+        assert not covers([], 0, 1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    ranges=st.lists(
+        st.tuples(st.integers(0, 100), st.integers(1, 30)).map(
+            lambda t: (t[0], t[0] + t[1])
+        ),
+        max_size=10,
+    ),
+    probe=st.tuples(st.integers(0, 120), st.integers(1, 20)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+)
+def test_covers_matches_pointwise(ranges, probe):
+    start, end = probe
+    expected = all(
+        any(r0 <= x < r1 for r0, r1 in ranges) for x in range(start, end)
+    )
+    assert covers(ranges, start, end) == expected
+
+
+class TestHeldToken:
+    def test_same_holder_never_conflicts(self):
+        t = HeldToken("c0", RW, 0, 10)
+        assert not t.conflicts_with("c0", RW, 0, 10)
+
+    def test_ro_ro_share(self):
+        t = HeldToken("c0", RO, 0, 10)
+        assert not t.conflicts_with("c1", RO, 5, 15)
+
+    def test_rw_conflicts(self):
+        t = HeldToken("c0", RW, 0, 10)
+        assert t.conflicts_with("c1", RO, 5, 15)
+        assert t.conflicts_with("c1", RW, 5, 15)
+        ro = HeldToken("c0", RO, 0, 10)
+        assert ro.conflicts_with("c1", RW, 5, 15)
+
+    def test_no_overlap_no_conflict(self):
+        t = HeldToken("c0", RW, 0, 10)
+        assert not t.conflicts_with("c1", RW, 10, 20)
+
+
+def manager_fixture():
+    sim = Simulation()
+    net = Network()
+    net.add_node("sw", kind="switch")
+    for n in ["mgr", "c0", "c1", "writer"]:
+        net.add_host(n, "sw", Gbps(1), nic_delay=0.005)
+    msgs = MessageService(sim, net)
+    tm = TokenManager(sim, msgs, "mgr")
+    return sim, tm
+
+
+def noop_handler(ino, lo, hi):
+    yield from ()
+
+
+class TestTokenManager:
+    def test_acquire_grants(self):
+        sim, tm = manager_fixture()
+        tm.register_client("c0", noop_handler)
+        evt = tm.acquire("c0", ino=1, start=0, end=100, mode=RW)
+        sim.run(until=evt)
+        assert tm.grants == 1
+        assert tm.client_ranges(1, "c0") == [(0, 100)]
+        # Acquisition paid two one-way messages (~10ms at 5ms NIC delay each way)
+        assert sim.now >= 0.02
+
+    def test_unregistered_client_rejected(self):
+        _, tm = manager_fixture()
+        with pytest.raises(KeyError):
+            tm.acquire("ghost", 1, 0, 10, RW)
+
+    def test_validation(self):
+        _, tm = manager_fixture()
+        tm.register_client("c0", noop_handler)
+        with pytest.raises(ValueError):
+            tm.acquire("c0", 1, 0, 10, "exclusive")
+        with pytest.raises(ValueError):
+            tm.acquire("c0", 1, 10, 10, RW)
+
+    def test_conflicting_acquire_revokes(self):
+        sim, tm = manager_fixture()
+        flushed = []
+
+        def handler(ino, lo, hi):
+            flushed.append((ino, lo, hi))
+            yield sim.timeout(0.1)  # flush takes time
+
+        tm.register_client("c0", handler)
+        tm.register_client("c1", noop_handler)
+        sim.run(until=tm.acquire("c0", 1, 0, 100, RW))
+        t0 = sim.now
+        sim.run(until=tm.acquire("c1", 1, 50, 150, RW))
+        assert flushed == [(1, 50, 100)]  # only the overlap is flushed
+        assert sim.now - t0 > 0.1  # paid the revoke round trip + flush
+        assert tm.revokes == 1
+        # c0 keeps the non-overlapping prefix
+        assert tm.client_ranges(1, "c0") == [(0, 50)]
+        assert tm.client_ranges(1, "c1") == [(50, 150)]
+
+    def test_ro_holders_share(self):
+        sim, tm = manager_fixture()
+        tm.register_client("c0", noop_handler)
+        tm.register_client("c1", noop_handler)
+        sim.run(until=tm.acquire("c0", 1, 0, 100, RO))
+        sim.run(until=tm.acquire("c1", 1, 0, 100, RO))
+        assert tm.revokes == 0
+
+    def test_rw_revokes_all_readers(self):
+        sim, tm = manager_fixture()
+        for c in ["c0", "c1"]:
+            tm.register_client(c, noop_handler)
+        tm.register_client("writer", noop_handler)
+        sim.run(until=tm.acquire("c0", 1, 0, 100, RO))
+        sim.run(until=tm.acquire("c1", 1, 0, 100, RO))
+        sim.run(until=tm.acquire("writer", 1, 0, 100, RW))
+        assert tm.revokes == 2
+
+    def test_release_all(self):
+        sim, tm = manager_fixture()
+        tm.register_client("c0", noop_handler)
+        sim.run(until=tm.acquire("c0", 1, 0, 100, RW))
+        sim.run(until=tm.acquire("c0", 2, 0, 100, RW))
+        tm.release_all("c0", ino=1)
+        assert tm.client_ranges(1, "c0") == []
+        assert tm.client_ranges(2, "c0") == [(0, 100)]
+        tm.release_all("c0")
+        assert tm.client_ranges(2, "c0") == []
+
+
+class TestTokenClient:
+    def test_caching_avoids_traffic(self):
+        sim, tm = manager_fixture()
+        tc = TokenClient(tm, "c0", noop_handler)
+        sim.run(until=tc.ensure(1, 0, 100, RW))
+        assert tc.acquisitions == 1
+        t_after_first = sim.now
+        sim.run(until=tc.ensure(1, 20, 80, RW))  # covered: instant
+        assert tc.acquisitions == 1
+        assert tc.cache_hits == 1
+        assert sim.now == t_after_first
+
+    def test_rw_token_satisfies_ro(self):
+        sim, tm = manager_fixture()
+        tc = TokenClient(tm, "c0", noop_handler)
+        sim.run(until=tc.ensure(1, 0, 100, RW))
+        assert tc.has(1, 0, 100, RO)
+
+    def test_ro_token_does_not_satisfy_rw(self):
+        sim, tm = manager_fixture()
+        tc = TokenClient(tm, "c0", noop_handler)
+        sim.run(until=tc.ensure(1, 0, 100, RO))
+        assert not tc.has(1, 0, 100, RW)
+        sim.run(until=tc.ensure(1, 0, 100, RW))
+        assert tc.acquisitions == 2

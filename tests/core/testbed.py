@@ -1,0 +1,44 @@
+"""Shared testbed builders for core tests."""
+
+from __future__ import annotations
+
+from repro.core.cluster import Gfs, NsdSpec
+from repro.util.units import Gbps, KiB, MiB
+
+
+def small_gfs(
+    nsd_servers: int = 4,
+    clients: int = 2,
+    block_size: int = KiB(256),
+    nic_rate: float = Gbps(1),
+    blocks_per_nsd: int = 4096,
+    seed: int = 0,
+):
+    """One cluster, one switch, diskless NSDs (network-only data path)."""
+    g = Gfs(seed=seed)
+    net = g.network
+    net.add_node("sw", kind="switch")
+    server_names = [f"nsd{i}" for i in range(nsd_servers)]
+    client_names = [f"c{i}" for i in range(clients)]
+    for name in server_names + client_names:
+        net.add_host(name, "sw", nic_rate, site="sdsc")
+    cluster = g.add_cluster("sdsc")
+    cluster.add_nodes(server_names + client_names)
+    fs = cluster.mmcrfs(
+        "gpfs0",
+        [NsdSpec(server=s, blocks=blocks_per_nsd) for s in server_names],
+        block_size=block_size,
+    )
+    return g, cluster, fs, client_names
+
+
+def mounted(g, cluster, device="gpfs0", node="c0", **kw):
+    """Synchronously mount and return the MountedFs."""
+    evt = cluster.mmmount(device, node, **kw)
+    return g.run(until=evt)
+
+
+def run_io(g, gen):
+    """Run a generator of FS events to completion, returning its value."""
+    proc = g.sim.process(gen)
+    return g.run(until=proc)

@@ -1,0 +1,66 @@
+"""Tests for the experiment result carrier and rendering."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, format_result, sparkline
+from repro.util.tables import Table
+from repro.util.timeseries import TimeSeries
+
+
+def make_result():
+    r = ExperimentResult(exp_id="EX", title="demo", paper_claim="something")
+    r.metrics["rate"] = 123.456
+    t = Table(["a"])
+    t.add_row([1])
+    r.table = t
+    ts = TimeSeries(name="trace")
+    ts.add(0.0, 1.0)
+    ts.add(1.0, 5.0)
+    r.series["trace"] = ts
+    r.notes = "a note"
+    return r
+
+
+class TestExperimentResult:
+    def test_metric_lookup(self):
+        r = make_result()
+        assert r.metric("rate") == pytest.approx(123.456)
+
+    def test_missing_metric_lists_available(self):
+        r = make_result()
+        with pytest.raises(KeyError, match="rate"):
+            r.metric("nope")
+
+    def test_format_contains_all_sections(self):
+        out = format_result(make_result())
+        assert "EX: demo" in out
+        assert "paper: something" in out
+        assert "rate = 123.5" in out
+        assert "trace:" in out
+        assert "note: a note" in out
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline(TimeSeries()) == "(empty)"
+
+    def test_single_sample(self):
+        ts = TimeSeries()
+        ts.add(0.0, 1.0)
+        assert sparkline(ts) == "(single sample)"
+
+    def test_width_and_extremes(self):
+        ts = TimeSeries()
+        ts.add(0.0, 0.0)
+        ts.add(5.0, 10.0)
+        ts.add(10.0, 10.0)
+        line = sparkline(ts, width=20)
+        assert len(line) == 20
+        assert line[0] == " "  # zero at the start
+        assert line[-1] == "█"  # peak at the end
+
+    def test_all_zero(self):
+        ts = TimeSeries()
+        ts.add(0.0, 0.0)
+        ts.add(1.0, 0.0)
+        assert set(sparkline(ts, width=10)) == {" "}

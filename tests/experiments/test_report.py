@@ -1,0 +1,36 @@
+"""Tests for the combined report runner."""
+
+import pytest
+
+from repro.experiments.report import _registry, main
+
+ALL_IDS = [f"E{i}" for i in range(1, 13)] + [f"A{i}" for i in range(1, 7)]
+
+
+class TestRegistry:
+    def test_quick_and_full_cover_every_experiment(self):
+        assert sorted(_registry(True)) == sorted(ALL_IDS)
+        assert sorted(_registry(False)) == sorted(ALL_IDS)
+
+    def test_entries_are_callable(self):
+        for label, thunk in _registry(True).values():
+            assert callable(thunk) and label
+
+
+class TestCli:
+    def test_unknown_id_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "E99"])
+
+    def test_single_quick_run(self, capsys, tmp_path):
+        out = tmp_path / "report.txt"
+        rc = main(["--quick", "--only", "A3", "--out", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "A3:" in text
+        assert "window" in text
+
+    def test_stdout_contains_result(self, capsys):
+        main(["--quick", "--only", "A3"])
+        captured = capsys.readouterr()
+        assert "ablation" in captured.out

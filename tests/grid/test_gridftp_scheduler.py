@@ -1,0 +1,120 @@
+"""Tests for GridFTP and the GUR scheduler."""
+
+import pytest
+
+from repro.grid import GridFtp, GurScheduler, Reservation, ReservationError, SiteResources
+from repro.net import FlowEngine, MessageService, Network, TcpModel
+from repro.sim import Simulation
+from repro.storage.pipes import Pipe
+from repro.util.units import GB, Gbps, MB, MiB, TB
+
+
+def wan(rate=Gbps(10), delay=0.030, window=MiB(8)):
+    net = Network()
+    net.add_node("sdsc")
+    net.add_node("ncsa")
+    net.add_link("sdsc", "ncsa", rate, delay=delay, efficiency=1.0)
+    sim = Simulation()
+    engine = FlowEngine(sim, net, default_tcp=TcpModel(window=float(window)))
+    msgs = MessageService(sim, net)
+    return sim, engine, msgs
+
+
+class TestGridFtp:
+    def test_setup_cost_round_trips(self):
+        sim, engine, msgs = wan(delay=0.040)
+        ftp = GridFtp(sim, engine, msgs)
+        res = sim.run(until=ftp.transfer("sdsc", "ncsa", 0))
+        # 4 round trips of 80 ms
+        assert res.setup_time == pytest.approx(4 * 0.080, rel=0.01)
+        assert res.rate == 0.0
+
+    def test_single_stream_window_limited(self):
+        # 8 MiB window / 60 ms RTT ≈ 140 MB/s << 10 GbE
+        sim, engine, msgs = wan(delay=0.030)
+        ftp = GridFtp(sim, engine, msgs)
+        res = sim.run(until=ftp.transfer("sdsc", "ncsa", GB(1.4), streams=1))
+        assert res.transfer_rate < MB(150)
+
+    def test_parallel_streams_scale(self):
+        sim, engine, msgs = wan(delay=0.030)
+        ftp = GridFtp(sim, engine, msgs)
+        r1 = sim.run(until=ftp.transfer("sdsc", "ncsa", GB(1.4), streams=1))
+        r8 = sim.run(until=ftp.transfer("sdsc", "ncsa", GB(1.4), streams=8))
+        assert r8.transfer_rate > 6 * r1.transfer_rate
+
+    def test_disk_stage_binds(self):
+        sim, engine, msgs = wan()
+        slow_disk = Pipe(sim, rate=MB(50), name="scratch")
+        ftp = GridFtp(sim, engine, msgs, dst_disk=slow_disk)
+        res = sim.run(until=ftp.transfer("sdsc", "ncsa", MB(500), streams=8))
+        assert res.transfer_rate <= MB(51)
+
+    def test_validation(self):
+        sim, engine, msgs = wan()
+        ftp = GridFtp(sim, engine, msgs)
+        with pytest.raises(ValueError):
+            ftp.transfer("sdsc", "ncsa", -1)
+        with pytest.raises(ValueError):
+            ftp.transfer("sdsc", "ncsa", 1, streams=0)
+
+
+class TestGurScheduler:
+    def make(self):
+        sim = Simulation()
+        sched = GurScheduler(sim)
+        sched.add_site(SiteResources("sdsc", compute_nodes=256, scratch_bytes=TB(100)))
+        sched.add_site(SiteResources("small", compute_nodes=64, scratch_bytes=TB(10)))
+        return sim, sched
+
+    def test_admission(self):
+        _, sched = self.make()
+        res = sched.reserve("sdsc", nodes=128, scratch=TB(50))
+        assert sched.admissions == 1
+        assert sched.free_scratch("sdsc") == TB(50)
+        sched.release(res)
+        assert sched.free_scratch("sdsc") == TB(100)
+
+    def test_scratch_refusal(self):
+        _, sched = self.make()
+        with pytest.raises(ReservationError, match="scratch"):
+            sched.reserve("small", nodes=8, scratch=TB(50))
+        assert sched.rejections == 1
+
+    def test_node_refusal(self):
+        _, sched = self.make()
+        with pytest.raises(ReservationError, match="nodes"):
+            sched.reserve("small", nodes=128)
+
+    def test_paper_exclusion_effect(self):
+        """A 50 TB staging job excludes the small site; a GFS job does not."""
+        _, sched = self.make()
+        staged_sites = sched.eligible_sites(nodes=8, scratch=TB(50))
+        gfs_sites = sched.eligible_sites(nodes=8, scratch=0)
+        assert "small" not in staged_sites
+        assert set(gfs_sites) == {"sdsc", "small"}
+
+    def test_double_release_rejected(self):
+        _, sched = self.make()
+        res = sched.reserve("sdsc", nodes=1)
+        sched.release(res)
+        with pytest.raises(ReservationError):
+            sched.release(res)
+
+    def test_unknown_site(self):
+        _, sched = self.make()
+        with pytest.raises(ReservationError):
+            sched.reserve("ghost", nodes=1)
+
+    def test_duplicate_site(self):
+        _, sched = self.make()
+        with pytest.raises(ValueError):
+            sched.add_site(SiteResources("sdsc", compute_nodes=1, scratch_bytes=0))
+
+    def test_concurrent_reservations_deplete_pool(self):
+        _, sched = self.make()
+        r1 = sched.reserve("small", nodes=40)
+        with pytest.raises(ReservationError):
+            sched.reserve("small", nodes=40)
+        sched.release(r1)
+        sched.reserve("small", nodes=40)

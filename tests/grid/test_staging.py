@@ -1,0 +1,108 @@
+"""Tests for StagedJob / DirectGfsJob."""
+
+import pytest
+
+from repro.grid import (
+    DirectGfsJob,
+    GridFtp,
+    GurScheduler,
+    JobSpec,
+    SiteResources,
+    StagedJob,
+)
+from repro.util.units import GB, MB, MiB
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+
+def staging_bed():
+    g, cluster, fs, clients = small_gfs(blocks_per_nsd=16384, block_size=MiB(1))
+    # extra endpoints for GridFTP
+    g.network.add_host("data-home", "sw", 1.25e9)
+    g.network.add_host("compute", "sw", 1.25e9)
+    scheduler = GurScheduler(g.sim)
+    scheduler.add_site(SiteResources("big", compute_nodes=64, scratch_bytes=GB(100)))
+    scheduler.add_site(SiteResources("tiny", compute_nodes=64, scratch_bytes=MB(1)))
+    gridftp = GridFtp(g.sim, g.engine, g.messages)
+    mount = mounted(g, cluster, node="c0")
+    return g, scheduler, gridftp, mount, fs
+
+
+def seed_dataset(g, mount, path, nbytes):
+    def io():
+        h = yield mount.open(path, "w", create=True)
+        yield mount.write(h, b"\x00" * int(nbytes))
+        yield mount.close(h)
+
+    run_io(g, io())
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(dataset_bytes=-1, output_bytes=0, compute_seconds=0)
+        with pytest.raises(ValueError):
+            JobSpec(dataset_bytes=1, output_bytes=0, compute_seconds=-1)
+        with pytest.raises(ValueError):
+            JobSpec(dataset_bytes=1, output_bytes=0, compute_seconds=0,
+                    access_fraction=1.5)
+
+
+class TestStagedJob:
+    def test_runs_and_accounts(self):
+        g, sched, ftp, mount, fs = staging_bed()
+        job = StagedJob(g.sim, sched, ftp, "data-home", "compute", "big")
+        spec = JobSpec(dataset_bytes=MB(64), output_bytes=MB(8),
+                       compute_seconds=10.0, nodes=4)
+        rep = g.run(until=job.run(spec))
+        assert rep.admitted
+        assert rep.mode == "staged"
+        assert rep.bytes_moved == MB(72)
+        assert rep.total_time >= rep.stage_in_time + 10.0 + rep.stage_out_time - 1e-9
+        assert rep.time_to_first_byte >= rep.stage_in_time
+
+    def test_scratch_refusal_reported(self):
+        g, sched, ftp, mount, fs = staging_bed()
+        job = StagedJob(g.sim, sched, ftp, "data-home", "compute", "tiny")
+        spec = JobSpec(dataset_bytes=MB(64), output_bytes=0, compute_seconds=1.0)
+        rep = g.run(until=job.run(spec))
+        assert not rep.admitted
+        assert "scratch" in rep.refusal
+
+    def test_resources_released_after_run(self):
+        g, sched, ftp, mount, fs = staging_bed()
+        job = StagedJob(g.sim, sched, ftp, "data-home", "compute", "big")
+        spec = JobSpec(dataset_bytes=MB(8), output_bytes=0, compute_seconds=1.0)
+        g.run(until=job.run(spec))
+        assert sched.free_scratch("big") == GB(100)
+
+
+class TestDirectGfsJob:
+    def test_moves_only_accessed_fraction(self):
+        g, sched, ftp, mount, fs = staging_bed()
+        seed_dataset(g, mount, "/data", MB(64))
+        mount.pool.invalidate(fs.namespace.resolve("/data").ino)
+        job = DirectGfsJob(g.sim, sched, mount, "big", io_chunk=int(MB(4)))
+        spec = JobSpec(dataset_bytes=MB(64), output_bytes=MB(4),
+                       compute_seconds=5.0, nodes=4, access_fraction=0.25)
+        rep = g.run(until=job.run(spec, "/data", "/out"))
+        assert rep.admitted
+        assert rep.bytes_moved == pytest.approx(MB(16) + MB(4))
+        assert rep.time_to_first_byte < 1.0  # no stage-in wait
+
+    def test_gfs_needs_no_scratch(self):
+        g, sched, ftp, mount, fs = staging_bed()
+        seed_dataset(g, mount, "/data", MB(16))
+        job = DirectGfsJob(g.sim, sched, mount, "tiny")
+        spec = JobSpec(dataset_bytes=MB(16), output_bytes=0, compute_seconds=1.0)
+        rep = g.run(until=job.run(spec, "/data", "/out"))
+        assert rep.admitted  # tiny scratch site still eligible
+
+    def test_node_refusal(self):
+        g, sched, ftp, mount, fs = staging_bed()
+        seed_dataset(g, mount, "/data", MB(1))
+        job = DirectGfsJob(g.sim, sched, mount, "big")
+        spec = JobSpec(dataset_bytes=MB(1), output_bytes=0,
+                       compute_seconds=0.0, nodes=100)
+        rep = g.run(until=job.run(spec, "/data", "/out"))
+        assert not rep.admitted

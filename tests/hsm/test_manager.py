@@ -1,0 +1,188 @@
+"""Tests for the HSM manager and archive replication."""
+
+import pytest
+
+from repro.hsm.manager import HsmError, HsmManager, MigrationPolicy
+from repro.hsm.replicate import ArchiveReplicator
+from repro.hsm.tape import LTO2, TapeLibrary, TapeSpec
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+# fast tape for tests: no robot/seek stalls unless a test wants them
+FAST_TAPE = TapeSpec("fast", capacity=LTO2.capacity, rate=LTO2.rate,
+                     load_time=0.0, seek_time=0.0)
+
+
+def hsm_bed(blocks_per_nsd=64, policy=None, tape_spec=FAST_TAPE):
+    g, cluster, fs, _ = small_gfs(blocks_per_nsd=blocks_per_nsd)
+    m = mounted(g, cluster, node="c0")
+    library = TapeLibrary(g.sim, spec=tape_spec, drives=2, cartridges=50)
+    hsm = HsmManager(m, library, policy=policy)
+    return g, fs, m, hsm
+
+
+def write_file(g, m, path, payload):
+    def io():
+        h = yield m.open(path, "w", create=True)
+        yield m.write(h, payload)
+        yield m.close(h)
+
+    run_io(g, io())
+
+
+class TestMigrateRecall:
+    def test_migrate_frees_disk(self):
+        g, fs, m, hsm = hsm_bed()
+        payload = bytes(range(256)) * 1024  # 256 KiB
+        write_file(g, m, "/cold", payload)
+        used_before = fs.used_bytes
+        g.run(until=hsm.migrate("/cold"))
+        assert fs.used_bytes < used_before
+        assert hsm.is_offline("/cold")
+        assert hsm.migrated_files == 1
+        assert hsm.library.used == len(payload)
+
+    def test_recall_restores_exact_data(self):
+        g, fs, m, hsm = hsm_bed()
+        payload = bytes([i % 251 for i in range(300_000)])
+        write_file(g, m, "/cold", payload)
+        g.run(until=hsm.migrate("/cold"))
+        g.run(until=hsm.recall("/cold"))
+        assert not hsm.is_offline("/cold")
+
+        def read_io():
+            h = yield m.open("/cold", "r")
+            return (yield m.read(h, len(payload)))
+
+        assert run_io(g, read_io()) == payload
+
+    def test_recall_resident_file_noop(self):
+        g, fs, m, hsm = hsm_bed()
+        write_file(g, m, "/hot", b"hot data")
+        assert g.run(until=hsm.recall("/hot")) is False
+        assert hsm.recalled_files == 0
+
+    def test_recall_pays_tape_latency(self):
+        g, fs, m, hsm = hsm_bed(tape_spec=LTO2)
+        write_file(g, m, "/cold", b"z" * 100_000)
+        g.run(until=hsm.migrate("/cold"))
+        t0 = g.sim.now
+        g.run(until=hsm.recall("/cold"))
+        assert g.sim.now - t0 >= LTO2.seek_time  # tape positioning dominates
+
+    def test_double_migrate_rejected(self):
+        g, fs, m, hsm = hsm_bed()
+        write_file(g, m, "/f", b"data")
+        g.run(until=hsm.migrate("/f"))
+        evt = hsm.migrate("/f")
+        with pytest.raises(HsmError, match="already offline"):
+            g.run(until=evt)
+
+    def test_migrate_directory_rejected(self):
+        g, fs, m, hsm = hsm_bed()
+        run_io(g, iter_mkdir(m))
+        evt = hsm.migrate("/d")
+        with pytest.raises(HsmError):
+            g.run(until=evt)
+
+    def test_migrate_empty_rejected(self):
+        g, fs, m, hsm = hsm_bed()
+        write_file(g, m, "/empty", b"")
+        evt = hsm.migrate("/empty")
+        with pytest.raises(HsmError):
+            g.run(until=evt)
+
+
+def iter_mkdir(m):
+    yield m.mkdir("/d")
+
+
+class TestPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            MigrationPolicy(low_water=0.9, high_water=0.8)
+        with pytest.raises(ValueError):
+            MigrationPolicy(min_age=-1)
+
+    def test_no_migration_below_high_water(self):
+        g, fs, m, hsm = hsm_bed(policy=MigrationPolicy(min_age=0.0))
+        write_file(g, m, "/f", b"x" * 1000)
+        migrated = g.run(until=hsm.run_policy())
+        assert migrated == []
+
+    def test_policy_migrates_oldest_until_low_water(self):
+        policy = MigrationPolicy(min_age=0.0, high_water=0.5, low_water=0.2)
+        g, fs, m, hsm = hsm_bed(blocks_per_nsd=2, policy=policy)
+        # 4 NSDs x 2 blocks x 256 KiB = 8 blocks total capacity
+        bs = fs.block_size
+
+        def make(path, age_order):
+            write_file(g, m, path, b"d" * bs)
+            fs.namespace.resolve(path).atime = float(age_order)
+
+        for i in range(5):  # 5 of 8 blocks used = 62% > high water
+            make(f"/f{i}", age_order=i)
+        migrated = g.run(until=hsm.run_policy())
+        assert migrated  # something moved
+        # oldest atime first
+        assert migrated == [f"/f{i}" for i in range(len(migrated))]
+        assert hsm.resident_fraction() <= 0.5
+
+    def test_min_age_respected(self):
+        policy = MigrationPolicy(min_age=1e9, high_water=0.01, low_water=0.005)
+        g, fs, m, hsm = hsm_bed(blocks_per_nsd=2, policy=policy)
+        write_file(g, m, "/young", b"x" * fs.block_size)
+        migrated = g.run(until=hsm.run_policy())
+        assert migrated == []  # too young to migrate
+
+    def test_pinned_paths_skipped(self):
+        policy = MigrationPolicy(
+            min_age=0.0, high_water=0.01, low_water=0.005, pin_paths=("/pinned",)
+        )
+        g, fs, m, hsm = hsm_bed(blocks_per_nsd=2, policy=policy)
+        write_file(g, m, "/pinned", b"x" * fs.block_size)
+        assert hsm.eligible_files() == []
+
+
+class TestReplication:
+    def make(self):
+        g, fs, m, hsm = hsm_bed()
+        remote_lib = TapeLibrary(g.sim, spec=FAST_TAPE, drives=2, cartridges=50,
+                                 name="psc")
+        # reuse two existing hosts as archive endpoints
+        repl = ArchiveReplicator(
+            g.sim, g.engine, hsm.library, remote_lib, "nsd0", "c1"
+        )
+        return g, m, hsm, remote_lib, repl
+
+    def test_replicate_all(self):
+        g, m, hsm, remote, repl = self.make()
+        write_file(g, m, "/a", b"a" * 100_000)
+        write_file(g, m, "/b", b"b" * 50_000)
+        g.run(until=hsm.migrate("/a"))
+        g.run(until=hsm.migrate("/b"))
+        assert len(repl.pending()) == 2
+        count = g.run(until=repl.replicate_all())
+        assert count == 2
+        assert repl.pending() == []
+        assert remote.used == 150_000
+
+    def test_restore_from_partner(self):
+        g, m, hsm, remote, repl = self.make()
+        write_file(g, m, "/a", b"precious" * 1000)
+        token = g.run(until=hsm.migrate("/a"))
+        g.run(until=repl.replicate(token))
+        payload, length = g.run(until=repl.restore(token))
+        assert payload == b"precious" * 1000
+
+    def test_replicate_validation(self):
+        g, m, hsm, remote, repl = self.make()
+        with pytest.raises(KeyError):
+            repl.replicate("ghost")
+        write_file(g, m, "/a", b"x" * 1000)
+        token = g.run(until=hsm.migrate("/a"))
+        g.run(until=repl.replicate(token))
+        with pytest.raises(ValueError):
+            repl.replicate(token)
+        with pytest.raises(KeyError):
+            repl.restore("ghost")

@@ -1,0 +1,127 @@
+"""Tests for the tape library."""
+
+import pytest
+
+from repro.hsm.tape import LTO2, TapeCartridge, TapeDrive, TapeLibrary, TapeSpec
+from repro.sim import Simulation
+from repro.util.units import GB, MB
+
+
+class TestSpec:
+    def test_lto2_profile(self):
+        assert LTO2.rate == MB(30)
+        assert LTO2.capacity == GB(200)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TapeSpec("x", capacity=0, rate=1, load_time=0, seek_time=0)
+        with pytest.raises(ValueError):
+            TapeSpec("x", capacity=1, rate=1, load_time=-1, seek_time=0)
+
+
+class TestCartridge:
+    def test_append_and_accounting(self):
+        c = TapeCartridge("t0", LTO2)
+        c.append("seg1", GB(50))
+        assert c.used == GB(50)
+        assert c.free == GB(150)
+        assert c.has("seg1")
+
+    def test_overflow_rejected(self):
+        c = TapeCartridge("t0", LTO2)
+        with pytest.raises(ValueError):
+            c.append("big", GB(201))
+
+    def test_duplicate_token_rejected(self):
+        c = TapeCartridge("t0", LTO2)
+        c.append("seg", GB(1))
+        with pytest.raises(ValueError):
+            c.append("seg", GB(1))
+
+
+class TestDrive:
+    def test_io_pays_load_seek_stream(self):
+        sim = Simulation()
+        drive = TapeDrive(sim, LTO2)
+        cart = TapeCartridge("t0", LTO2)
+        evt = drive.io(cart, MB(30), "read")
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(LTO2.load_time + LTO2.seek_time + 1.0)
+
+    def test_mounted_cartridge_skips_load(self):
+        sim = Simulation()
+        drive = TapeDrive(sim, LTO2)
+        cart = TapeCartridge("t0", LTO2)
+        sim.run(until=drive.io(cart, MB(30), "read"))
+        t0 = sim.now
+        sim.run(until=drive.io(cart, MB(30), "read"))
+        assert sim.now - t0 == pytest.approx(LTO2.seek_time + 1.0)
+        assert drive.mounts == 1
+
+    def test_remount_on_cartridge_change(self):
+        sim = Simulation()
+        drive = TapeDrive(sim, LTO2)
+        c1, c2 = TapeCartridge("t1", LTO2), TapeCartridge("t2", LTO2)
+        sim.run(until=drive.io(c1, MB(1), "read"))
+        sim.run(until=drive.io(c2, MB(1), "read"))
+        assert drive.mounts == 2
+
+    def test_validation(self):
+        drive = TapeDrive(Simulation(), LTO2)
+        cart = TapeCartridge("t", LTO2)
+        with pytest.raises(ValueError):
+            drive.io(cart, 10, "erase")
+        with pytest.raises(ValueError):
+            drive.io(cart, -1, "read")
+
+
+class TestLibrary:
+    def test_archive_and_retrieve_payload(self):
+        sim = Simulation()
+        lib = TapeLibrary(sim, drives=1, cartridges=2)
+        sim.run(until=lib.archive("tok", 1000.0, payload=b"x" * 1000))
+        payload, length = sim.run(until=lib.retrieve("tok"))
+        assert payload == b"x" * 1000
+        assert length == 1000.0
+        assert lib.has("tok")
+
+    def test_capacity_accounting(self):
+        sim = Simulation()
+        lib = TapeLibrary(sim, drives=1, cartridges=3)
+        assert lib.capacity == 3 * LTO2.capacity
+        sim.run(until=lib.archive("a", GB(10)))
+        assert lib.used == GB(10)
+
+    def test_fills_across_cartridges(self):
+        sim = Simulation()
+        lib = TapeLibrary(sim, drives=1, cartridges=2)
+        sim.run(until=lib.archive("a", GB(150)))
+        sim.run(until=lib.archive("b", GB(150)))  # doesn't fit on tape 0
+        assert lib.cartridges[0].has("a")
+        assert lib.cartridges[1].has("b")
+
+    def test_out_of_tape(self):
+        sim = Simulation()
+        lib = TapeLibrary(sim, drives=1, cartridges=1)
+        sim.run(until=lib.archive("a", GB(200)))
+        with pytest.raises(ValueError, match="out of tape"):
+            lib.archive("b", GB(1))
+
+    def test_duplicate_and_missing_tokens(self):
+        sim = Simulation()
+        lib = TapeLibrary(sim, drives=1, cartridges=1)
+        sim.run(until=lib.archive("a", 100))
+        with pytest.raises(ValueError):
+            lib.archive("a", 100)
+        with pytest.raises(KeyError):
+            lib.retrieve("ghost")
+
+    def test_segment_length(self):
+        sim = Simulation()
+        lib = TapeLibrary(sim)
+        sim.run(until=lib.archive("a", 12345))
+        assert lib.segment_length("a") == 12345
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TapeLibrary(Simulation(), drives=0)

@@ -1,0 +1,113 @@
+"""Tests for transparent HSM recall and the periodic policy daemon."""
+
+import pytest
+
+from repro.hsm.manager import HsmManager, MigrationPolicy, TransparentMount
+from repro.hsm.tape import TapeLibrary, TapeSpec
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+FAST = TapeSpec("fast", capacity=200e9, rate=30e6, load_time=0.0, seek_time=1.0)
+
+
+def bed(policy=None, blocks_per_nsd=64):
+    g, cluster, fs, _ = small_gfs(blocks_per_nsd=blocks_per_nsd)
+    m = mounted(g, cluster, node="c0")
+    hsm = HsmManager(m, TapeLibrary(g.sim, spec=FAST, drives=2, cartridges=20),
+                     policy=policy)
+    return g, fs, m, hsm
+
+
+def write_file(g, m, path, payload):
+    def io():
+        h = yield m.open(path, "w", create=True)
+        yield m.write(h, payload)
+        yield m.close(h)
+
+    run_io(g, io())
+
+
+class TestTransparentMount:
+    def test_open_recalls_offline_file(self):
+        g, fs, m, hsm = bed()
+        payload = b"cold storage" * 5000
+        write_file(g, m, "/cold", payload)
+        g.run(until=hsm.migrate("/cold"))
+        tm = hsm.transparent(m)
+
+        def io():
+            h = yield tm.open("/cold", "r")
+            data = yield tm.read(h, len(payload))
+            yield tm.close(h)
+            return data
+
+        assert run_io(g, io()) == payload
+        assert tm.recalls_triggered == 1
+        assert not hsm.is_offline("/cold")
+
+    def test_open_resident_is_passthrough(self):
+        g, fs, m, hsm = bed()
+        write_file(g, m, "/hot", b"hot")
+        tm = hsm.transparent(m)
+
+        def io():
+            h = yield tm.open("/hot", "r")
+            yield tm.close(h)
+
+        run_io(g, io())
+        assert tm.recalls_triggered == 0
+
+    def test_recall_pays_tape_latency(self):
+        g, fs, m, hsm = bed()
+        write_file(g, m, "/cold", b"x" * 100_000)
+        g.run(until=hsm.migrate("/cold"))
+        tm = hsm.transparent(m)
+        t0 = g.sim.now
+
+        def io():
+            h = yield tm.open("/cold", "r")
+            yield tm.close(h)
+
+        run_io(g, io())
+        assert g.sim.now - t0 >= FAST.seek_time
+
+    def test_create_through_proxy(self):
+        g, fs, m, hsm = bed()
+        tm = hsm.transparent(m)
+
+        def io():
+            h = yield tm.open("/new", "w", create=True)
+            yield tm.write(h, b"fresh")
+            yield tm.close(h)
+
+        run_io(g, io())
+        assert fs.namespace.resolve("/new").size == 5
+
+    def test_mismatched_fs_rejected(self):
+        g, fs, m, hsm = bed()
+        g2, fs2, m2, hsm2 = bed()
+        with pytest.raises(ValueError):
+            TransparentMount(m2, hsm)
+
+
+class TestPeriodicPolicy:
+    def test_daemon_migrates_when_watermark_crossed(self):
+        policy = MigrationPolicy(min_age=0.0, high_water=0.4, low_water=0.2)
+        g, fs, m, hsm = bed(policy=policy, blocks_per_nsd=4)
+        daemon = hsm.periodic_policy(interval=100.0)
+        # fill past the high-water mark (capacity 16 blocks x 256 KiB)
+        bs = fs.block_size
+        for i in range(8):
+            write_file(g, m, f"/f{i}", b"d" * bs)
+            fs.namespace.resolve(f"/f{i}").atime = -1e6
+        g.run(until=g.sim.timeout(250.0 - g.sim.now))
+        assert hsm.migrated_files > 0
+        assert hsm.resident_fraction() <= 0.4
+        daemon.interrupt()
+        g.run()
+        assert daemon.processed
+
+    def test_bad_interval(self):
+        g, fs, m, hsm = bed()
+        with pytest.raises(ValueError):
+            hsm.periodic_policy(0)

@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts run to completion.
+
+(The slower examples — sc_timeline, enzo_teragrid, nvo_partial_access —
+are exercised by the experiment smoke tests that share their harnesses.)
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "bit-identical" in out
+        assert "remote mount" in out
+
+    def test_trace_replay(self):
+        out = run_example("trace_replay.py")
+        assert "replayed 21 operations" in out
+
+    def test_multicluster_auth(self):
+        out = run_example("multicluster_auth.py")
+        assert "refused as expected" in out
+        assert "[BUG]" not in out
+        assert "denied as expected" in out
+
+    def test_hsm_lifecycle(self):
+        out = run_example("hsm_lifecycle.py")
+        assert "migrated" in out
+        assert "disaster restore" in out

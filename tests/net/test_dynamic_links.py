@@ -1,0 +1,63 @@
+"""Tests for dynamic link capacity changes (brownouts, upgrades)."""
+
+import pytest
+
+from repro.net import FlowEngine, Network, TcpModel
+from repro.sim import Simulation
+from repro.util.units import GB, MB
+
+
+def line(rate):
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    link, _ = net.add_link("a", "b", rate, efficiency=1.0)
+    return net, link
+
+
+class TestSetRate:
+    def test_validation(self):
+        net, link = line(MB(100))
+        with pytest.raises(ValueError):
+            link.set_rate(0)
+
+    def test_brownout_slows_active_flow(self):
+        net, link = line(MB(100))
+        sim = Simulation()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        evt = engine.transfer("a", "b", MB(100))
+
+        def brownout(sim):
+            yield sim.timeout(0.5)  # 50 MB transferred
+            link.set_rate(MB(25))
+            engine.poke()
+
+        sim.process(brownout(sim))
+        sim.run(until=evt)
+        # 0.5s at 100 MB/s, then 50 MB at 25 MB/s = 2.0s more
+        assert sim.now == pytest.approx(2.5)
+
+    def test_upgrade_speeds_up(self):
+        net, link = line(MB(50))
+        sim = Simulation()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        evt = engine.transfer("a", "b", MB(100))
+
+        def upgrade(sim):
+            yield sim.timeout(1.0)  # 50 MB done
+            link.set_rate(MB(200))
+            engine.poke()
+
+        sim.process(upgrade(sim))
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(1.25)
+
+    def test_poke_without_change_is_harmless(self):
+        net, link = line(MB(100))
+        sim = Simulation()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        evt = engine.transfer("a", "b", MB(100))
+        engine.poke()
+        engine.poke()
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(1.0)

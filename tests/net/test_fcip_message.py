@@ -1,0 +1,79 @@
+"""Tests for FCIP tunnels and the control-message service."""
+
+import pytest
+
+from repro.net import FlowEngine, MessageService, Network, TcpModel, add_fcip_tunnel
+from repro.net.fcip import FCIP_EFFICIENCY, NISHAN_TRUNK_RATE
+from repro.sim import Simulation
+from repro.util.units import GB, Gbps, MB
+
+
+class TestFcip:
+    def make(self, pairs=2):
+        net = Network()
+        net.add_node("sdsc-san", kind="switch")
+        net.add_node("baltimore-san", kind="switch")
+        tunnel = add_fcip_tunnel(
+            net, "sdsc-san", "baltimore-san", wan_delay=0.040, pairs=pairs
+        )
+        return net, tunnel
+
+    def test_tunnel_rate(self):
+        _, tunnel = self.make(pairs=2)
+        # two Nishan pairs × 4 GbE channels = 8 Gb/s raw
+        assert tunnel.forward.rate == pytest.approx(2 * NISHAN_TRUNK_RATE)
+        assert tunnel.usable_rate == pytest.approx(Gbps(8) * FCIP_EFFICIENCY)
+
+    def test_sc02_scale_throughput(self):
+        # 8 Gb/s max, 90% FCIP efficiency → 900 MB/s ceiling; paper saw 720.
+        net, _ = self.make(pairs=2)
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        evt = eng.transfer("sdsc-san", "baltimore-san", MB(900))
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(1.0 + 0.040)
+
+    def test_validation(self):
+        net = Network()
+        net.add_node("x")
+        net.add_node("y")
+        with pytest.raises(ValueError):
+            add_fcip_tunnel(net, "x", "y", 0.01, pairs=0)
+
+
+class TestMessageService:
+    def make(self):
+        net = Network()
+        net.add_node("sw", kind="switch")
+        net.add_host("a", "sw", Gbps(1), nic_delay=0.0)
+        net.add_host("b", "sw", Gbps(1), nic_delay=0.040)
+        sim = Simulation()
+        return sim, MessageService(sim, net)
+
+    def test_send_latency(self):
+        sim, svc = self.make()
+        evt = svc.send("a", "b", payload="hello", nbytes=0)
+        got = sim.run(until=evt)
+        assert got == "hello"
+        assert sim.now == pytest.approx(0.040)
+
+    def test_local_message_fast(self):
+        sim, svc = self.make()
+        evt = svc.send("a", "a")
+        sim.run(until=evt)
+        assert sim.now < 1e-5
+
+    def test_round_trip(self):
+        sim, svc = self.make()
+        evt = svc.round_trip("a", "b", request_bytes=0, reply_bytes=0, service_time=0.5)
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(0.040 + 0.5 + 0.040)
+
+    def test_serialization_counted(self):
+        sim, svc = self.make()
+        # 1.25 MB at ~GbE payload rate adds ~10ms.
+        t = svc.delivery_time("a", "b", nbytes=1.25e6)
+        assert t > 0.040
+        assert svc.messages_sent == 0
+        svc.send("a", "b")
+        assert svc.messages_sent == 1

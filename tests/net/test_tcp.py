@@ -1,0 +1,85 @@
+"""Tests for the TCP rate-cap model."""
+
+import math
+
+import pytest
+
+from repro.net.tcp import DEFAULT_2005, TUNED_2005, TcpModel
+from repro.util.units import KiB, MB, MiB
+
+
+class TestWindowCap:
+    def test_window_over_rtt(self):
+        tcp = TcpModel(window=float(MiB(1)))
+        assert tcp.window_cap(0.080) == pytest.approx(MiB(1) / 0.080)
+
+    def test_zero_rtt_unbounded(self):
+        assert TcpModel().window_cap(0.0) == math.inf
+
+    def test_paper_latency_problem(self):
+        # Untuned 64 KiB window at the paper's 80 ms SDSC-Baltimore RTT:
+        # under 1 MB/s per stream — the motivation for parallel NSD streams.
+        rate = DEFAULT_2005.rate_cap(0.080)
+        assert rate < MB(1)
+
+    def test_tuned_host_fills_gbe_at_wan_rtt(self):
+        # 8 MiB window / 80 ms = ~105 MB/s > GbE payload rate.
+        rate = TUNED_2005.rate_cap(0.080)
+        assert rate > MB(100)
+
+
+class TestMathisCap:
+    def test_no_loss_unbounded(self):
+        assert TcpModel(loss=0.0).mathis_cap(0.1) == math.inf
+
+    def test_loss_limits_rate(self):
+        tcp = TcpModel(loss=1e-4, mss=1460)
+        cap = tcp.mathis_cap(0.080)
+        # (1460/0.08) * 1.2247/0.01 ≈ 2.2 MB/s
+        assert cap == pytest.approx((1460 / 0.080) * (math.sqrt(1.5) / 0.01), rel=1e-6)
+
+    def test_more_loss_less_rate(self):
+        low = TcpModel(loss=1e-5).mathis_cap(0.08)
+        high = TcpModel(loss=1e-3).mathis_cap(0.08)
+        assert low > high
+
+    def test_jumbo_frames_help(self):
+        std = TcpModel(loss=1e-4, mss=1460).mathis_cap(0.08)
+        jumbo = TcpModel(loss=1e-4, mss=8960).mathis_cap(0.08)
+        assert jumbo == pytest.approx(std * 8960 / 1460)
+
+
+class TestCombinedCap:
+    def test_min_of_both(self):
+        tcp = TcpModel(window=float(MiB(64)), loss=1e-3)
+        rtt = 0.080
+        assert tcp.rate_cap(rtt) == pytest.approx(
+            min(tcp.window_cap(rtt), tcp.mathis_cap(rtt))
+        )
+
+    def test_efficiency_scales(self):
+        a = TcpModel(window=float(KiB(64)), efficiency=1.0).rate_cap(0.1)
+        b = TcpModel(window=float(KiB(64)), efficiency=0.5).rate_cap(0.1)
+        assert b == pytest.approx(a / 2)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"mss": 0},
+            {"loss": 1.0},
+            {"loss": -0.1},
+            {"efficiency": 0},
+            {"efficiency": 1.1},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            TcpModel(**kwargs)
+
+    def test_frozen(self):
+        tcp = TcpModel()
+        with pytest.raises(AttributeError):
+            tcp.window = 1.0

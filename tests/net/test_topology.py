@@ -1,0 +1,137 @@
+"""Tests for Network topology and routing."""
+
+import pytest
+
+from repro.net import Link, Network
+from repro.net.topology import RoutingError
+from repro.util.units import Gbps
+
+
+def triangle() -> Network:
+    net = Network()
+    for name in ["a", "b", "c"]:
+        net.add_node(name, kind="switch")
+    net.add_link("a", "b", Gbps(10), delay=0.010)
+    net.add_link("b", "c", Gbps(10), delay=0.010)
+    net.add_link("a", "c", Gbps(1), delay=0.030)
+    return net
+
+
+class TestLink:
+    def test_usable_rate(self):
+        link = Link("a", "b", rate=1000.0, efficiency=0.9)
+        assert link.usable_rate == pytest.approx(900.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", rate=0)
+        with pytest.raises(ValueError):
+            Link("a", "b", rate=1, delay=-1)
+        with pytest.raises(ValueError):
+            Link("a", "b", rate=1, efficiency=0)
+        with pytest.raises(ValueError):
+            Link("a", "b", rate=1, efficiency=1.5)
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node("x")
+        with pytest.raises(ValueError):
+            net.add_node("x")
+
+    def test_link_to_unknown_node_rejected(self):
+        net = Network()
+        net.add_node("x")
+        with pytest.raises(RoutingError):
+            net.add_link("x", "ghost", Gbps(1))
+
+    def test_duplex_creates_two_links(self):
+        net = Network()
+        net.add_node("x")
+        net.add_node("y")
+        fwd, back = net.add_link("x", "y", Gbps(1))
+        assert fwd.src == "x" and back.src == "y"
+        assert len(net.links) == 2
+
+    def test_simplex(self):
+        net = Network()
+        net.add_node("x")
+        net.add_node("y")
+        fwd, back = net.add_link("x", "y", Gbps(1), duplex=False)
+        assert back is None
+        net.path("x", "y")
+        with pytest.raises(RoutingError):
+            net.path("y", "x")
+
+    def test_asymmetric_rates(self):
+        net = Network()
+        net.add_node("x")
+        net.add_node("y")
+        fwd, back = net.add_link("x", "y", Gbps(10), rate_back=Gbps(1))
+        assert back.rate == Gbps(1)
+
+    def test_add_host(self):
+        net = Network()
+        net.add_node("sw", kind="switch")
+        node = net.add_host("h1", "sw", Gbps(1), site="sdsc")
+        assert node.site == "sdsc"
+        assert net.path("h1", "sw")
+
+    def test_hosts_filter(self):
+        net = Network()
+        net.add_node("sw", kind="switch")
+        net.add_host("h1", "sw", Gbps(1), site="sdsc")
+        net.add_host("h2", "sw", Gbps(1), site="ncsa")
+        assert [n.name for n in net.hosts("sdsc")] == ["h1"]
+        assert len(net.hosts()) == 2
+
+    def test_link_indices_match_capacities(self):
+        net = triangle()
+        caps = net.link_capacities()
+        for link in net.links:
+            assert caps[link.index] == link.usable_rate
+
+
+class TestRouting:
+    def test_routes_by_delay(self):
+        net = triangle()
+        # a->c direct is 30ms; via b is 20ms → prefer via b.
+        path = net.path("a", "c")
+        assert [l.dst for l in path] == ["b", "c"]
+
+    def test_loopback_empty(self):
+        net = triangle()
+        assert net.path("a", "a") == []
+
+    def test_no_route_raises(self):
+        net = Network()
+        net.add_node("island1")
+        net.add_node("island2")
+        with pytest.raises(RoutingError):
+            net.path("island1", "island2")
+
+    def test_unknown_node_raises(self):
+        net = triangle()
+        with pytest.raises(RoutingError):
+            net.path("a", "nowhere")
+
+    def test_path_cache_invalidated_on_new_link(self):
+        net = triangle()
+        assert len(net.path("a", "c")) == 2
+        net.add_link("a", "c", Gbps(10), delay=0.001)
+        assert len(net.path("a", "c")) == 1
+
+    def test_one_way_delay_and_rtt(self):
+        net = triangle()
+        assert net.one_way_delay("a", "c") == pytest.approx(0.020)
+        assert net.rtt("a", "c") == pytest.approx(0.040)
+
+    def test_bottleneck_rate(self):
+        net = Network()
+        for n in "xyz":
+            net.add_node(n)
+        net.add_link("x", "y", Gbps(10), efficiency=1.0)
+        net.add_link("y", "z", Gbps(1), efficiency=1.0)
+        assert net.bottleneck_rate("x", "z") == pytest.approx(Gbps(1))
+        assert net.bottleneck_rate("x", "x") == float("inf")

@@ -1,0 +1,107 @@
+"""Property tests for the fluid flow engine.
+
+* conservation: every transfer delivers exactly its byte count, regardless
+  of how transfers overlap;
+* physicality: nothing finishes faster than the bottleneck allows;
+* determinism: identical runs produce identical completion times.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net import FlowEngine, Network, TcpModel
+from repro.sim import Simulation
+from repro.util.units import GB, MB
+
+
+def star_network(n_hosts=4, host_rate=MB(100), trunk_rate=MB(250)):
+    """Hosts around a hub with a trunk to a sink."""
+    net = Network()
+    net.add_node("hub")
+    net.add_node("sink-sw")
+    net.add_link("hub", "sink-sw", trunk_rate, delay=0.001, efficiency=1.0)
+    net.add_node("sink")
+    net.add_link("sink-sw", "sink", trunk_rate * 2, efficiency=1.0)
+    for i in range(n_hosts):
+        net.add_host(f"h{i}", "hub", host_rate, nic_delay=0.0005, efficiency=1.0)
+    return net
+
+
+transfer_st = st.tuples(
+    st.integers(0, 3),  # source host
+    st.floats(1e4, 5e8),  # bytes
+    st.floats(0.0, 2.0),  # start delay
+)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(transfers=st.lists(transfer_st, min_size=1, max_size=10))
+def test_all_bytes_delivered(transfers):
+    sim = Simulation()
+    net = star_network()
+    engine = FlowEngine(sim, net, default_tcp=TcpModel(window=float(GB(1))))
+    done_events = []
+
+    def starter(sim, src, nbytes, delay):
+        yield sim.timeout(delay)
+        done_events.append(engine.transfer(f"h{src}", "sink", nbytes))
+
+    for src, nbytes, delay in transfers:
+        sim.process(starter(sim, src, nbytes, delay))
+    sim.run()
+    assert engine.active_count == 0
+    assert engine.completed_flows == len(transfers)
+    assert engine.bytes_moved == pytest.approx(sum(t[1] for t in transfers))
+    for evt in done_events:
+        assert evt.processed and evt.ok
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(transfers=st.lists(transfer_st, min_size=1, max_size=8))
+def test_no_faster_than_bottleneck(transfers):
+    sim = Simulation()
+    net = star_network()
+    engine = FlowEngine(sim, net, default_tcp=TcpModel(window=float(GB(1))))
+    records = []
+
+    def starter(sim, src, nbytes, delay):
+        yield sim.timeout(delay)
+        t0 = sim.now
+        flow = yield engine.transfer(f"h{src}", "sink", nbytes)
+        records.append((nbytes, sim.now - t0))
+
+    procs = [
+        sim.process(starter(sim, src, nbytes, delay))
+        for src, nbytes, delay in transfers
+    ]
+    sim.run()
+    host_rate = MB(100)
+    for nbytes, elapsed in records:
+        # can never beat a dedicated host NIC plus propagation
+        assert elapsed >= nbytes / host_rate * (1 - 1e-9)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(transfers=st.lists(transfer_st, min_size=1, max_size=8))
+def test_deterministic_replay(transfers):
+    def run_once():
+        sim = Simulation()
+        net = star_network()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=float(GB(1))))
+        finish_times = []
+
+        def starter(sim, src, nbytes, delay):
+            yield sim.timeout(delay)
+            yield engine.transfer(f"h{src}", "sink", nbytes)
+            finish_times.append(sim.now)
+
+        for src, nbytes, delay in transfers:
+            sim.process(starter(sim, src, nbytes, delay))
+        sim.run()
+        return finish_times
+
+    assert run_once() == run_once()

@@ -1,0 +1,122 @@
+"""Property test: the filesystem vs a flat-byte-array oracle.
+
+Hypothesis drives random sequences of pwrite/pread/truncate/fsync against
+one file on a small GFS (real data mode) and against a plain Python
+``bytearray``; after every operation the filesystem must agree with the
+oracle byte-for-byte. This exercises stripe split math, page-pool merge
+logic, read-modify-write, sparse zero-fill, write-behind flushing, and
+truncate as one system.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.util.units import KiB
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+BLOCK = int(KiB(4))
+MAX_OFF = 6 * BLOCK  # spans several blocks and both partial/full pieces
+
+
+op_write = st.tuples(
+    st.just("write"),
+    st.integers(0, MAX_OFF),
+    st.binary(min_size=1, max_size=2 * BLOCK),
+)
+op_read = st.tuples(
+    st.just("read"), st.integers(0, MAX_OFF), st.integers(1, 3 * BLOCK)
+)
+op_truncate = st.tuples(st.just("truncate"), st.integers(0, MAX_OFF), st.none())
+op_fsync = st.tuples(st.just("fsync"), st.none(), st.none())
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=st.lists(st.one_of(op_write, op_read, op_truncate, op_fsync),
+                    min_size=1, max_size=12))
+def test_fs_matches_oracle(ops):
+    g, cluster, fs, _ = small_gfs(
+        nsd_servers=3, clients=1, block_size=BLOCK, blocks_per_nsd=256
+    )
+    m = mounted(g, cluster, node="c0")
+    oracle = bytearray()
+
+    def apply(op):
+        kind, a, b = op
+        handle = yield m.open("/oracle", "r+", create=True)
+        if kind == "write":
+            yield m.pwrite(handle, a, b)
+            if len(oracle) < a:
+                oracle.extend(b"\x00" * (a - len(oracle)))
+            oracle[a : a + len(b)] = b
+        elif kind == "read":
+            data = yield m.pread(handle, a, b)
+            expect = bytes(oracle[a : a + b])
+            assert data == expect, (kind, a, b, len(oracle))
+        elif kind == "truncate":
+            yield m.truncate(handle, a)
+            del oracle[a:]
+        elif kind == "fsync":
+            yield m.fsync(handle)
+        yield m.close(handle)
+        # size must always agree
+        assert handle.inode.size == len(oracle)
+
+    def driver():
+        for op in ops:
+            yield g.sim.process(apply(op), name="apply")
+
+    run_io(g, driver())
+    # final full-file readback equals the oracle
+    def final():
+        handle = yield m.open("/oracle", "r")
+        data = yield m.read(handle, len(oracle) + 10)
+        assert data == bytes(oracle)
+        yield m.close(handle)
+
+    run_io(g, final())
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, MAX_OFF), st.binary(min_size=1, max_size=BLOCK)),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_two_clients_alternating_writes_match_oracle(writes):
+    """Writes alternate between two client nodes; token revocation must
+    keep both caches coherent with the oracle."""
+    g, cluster, fs, _ = small_gfs(
+        nsd_servers=3, clients=2, block_size=BLOCK, blocks_per_nsd=256
+    )
+    mounts = [mounted(g, cluster, node=f"c{i}") for i in range(2)]
+    oracle = bytearray()
+
+    def one_write(m, offset, data):
+        handle = yield m.open("/shared", "r+", create=True)
+        yield m.pwrite(handle, offset, data)
+        yield m.close(handle)
+
+    def driver():
+        for i, (offset, data) in enumerate(writes):
+            m = mounts[i % 2]
+            yield g.sim.process(one_write(m, offset, data), name="w")
+            if len(oracle) < offset:
+                oracle.extend(b"\x00" * (offset - len(oracle)))
+            oracle[offset : offset + len(data)] = data
+        # both clients must read back the oracle
+        for m in mounts:
+            handle = yield m.open("/shared", "r")
+            got = yield m.read(handle, len(oracle) + 1)
+            assert got == bytes(oracle)
+            yield m.close(handle)
+
+    run_io(g, driver())

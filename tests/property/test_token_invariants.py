@@ -1,0 +1,80 @@
+"""Property test: the token manager never leaves conflicting tokens held.
+
+Hypothesis drives random acquire sequences (client, range, mode) against
+one TokenManager; after every grant, the held-token table must contain no
+pair of tokens that conflict (overlapping ranges, different holders, at
+least one rw).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.tokens import RO, RW, TokenManager
+from repro.net.message import MessageService
+from repro.net.topology import Network
+from repro.sim import Simulation
+from repro.util.units import Gbps
+
+CLIENTS = ["c0", "c1", "c2"]
+
+
+def noop_handler(ino, lo, hi):
+    yield from ()
+
+
+def build_manager():
+    sim = Simulation()
+    net = Network()
+    net.add_node("sw", kind="switch")
+    for n in ["mgr"] + CLIENTS:
+        net.add_host(n, "sw", Gbps(1), nic_delay=0.001)
+    tm = TokenManager(sim, MessageService(sim, net), "mgr")
+    for c in CLIENTS:
+        tm.register_client(c, noop_handler)
+    return sim, tm
+
+
+acquire_op = st.tuples(
+    st.sampled_from(CLIENTS),
+    st.integers(0, 500),  # start
+    st.integers(1, 200),  # length
+    st.sampled_from([RO, RW]),
+    st.booleans(),  # use a whole-range desired?
+)
+
+
+def assert_no_conflicts(tm, ino):
+    held = tm.holders(ino)
+    for i, a in enumerate(held):
+        for b in held[i + 1 :]:
+            assert not a.conflicts_with(b.holder, b.mode, b.start, b.end), (a, b)
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(acquire_op, min_size=1, max_size=15))
+def test_no_conflicting_tokens_ever_coexist(ops):
+    sim, tm = build_manager()
+    for client, start, length, mode, use_desired in ops:
+        desired = (0, 10_000) if use_desired else None
+        evt = tm.acquire(client, 1, start, start + length, mode, desired=desired)
+        sim.run(until=evt)
+        assert_no_conflicts(tm, 1)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(acquire_op, min_size=1, max_size=12))
+def test_latest_acquirer_holds_its_range(ops):
+    """After an acquire completes, the requesting client covers the range."""
+    from repro.core.tokens import covers
+
+    sim, tm = build_manager()
+    for client, start, length, mode, use_desired in ops:
+        desired = (0, 10_000) if use_desired else None
+        evt = tm.acquire(client, 1, start, start + length, mode, desired=desired)
+        sim.run(until=evt)
+        ranges = tm.client_ranges(1, client, mode=RW if mode == RW else None)
+        if mode == RO:
+            ranges = tm.client_ranges(1, client)
+        assert covers(ranges, start, start + length)

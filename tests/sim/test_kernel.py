@@ -1,0 +1,416 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Simulation,
+    SimulationError,
+)
+
+
+class TestClockAndTimeout:
+    def test_time_starts_at_zero(self):
+        assert Simulation().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield sim.timeout(3.5)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_timeout_value(self):
+        sim = Simulation()
+
+        def proc(sim):
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "hello"
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until_time(self):
+        sim = Simulation()
+
+        def proc(sim):
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.process(proc(sim))
+        sim.run(until=4.5)
+        assert sim.now == 4.5
+
+    def test_run_until_past_raises(self):
+        sim = Simulation()
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_events_at_same_time_fire_in_creation_order(self):
+        sim = Simulation()
+        order = []
+
+        def proc(sim, tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(proc(sim, tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_peek(self):
+        sim = Simulation()
+        assert sim.peek() == float("inf")
+        sim.timeout(2.0)
+        assert sim.peek() == 2.0
+
+
+class TestEvents:
+    def test_succeed_and_value(self):
+        sim = Simulation()
+        evt = sim.event()
+        evt.succeed(42)
+        sim.run()
+        assert evt.ok and evt.value == 42 and evt.processed
+
+    def test_double_trigger_raises(self):
+        sim = Simulation()
+        evt = sim.event()
+        evt.succeed()
+        with pytest.raises(SimulationError):
+            evt.succeed()
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulation()
+        evt = sim.event()
+        with pytest.raises(SimulationError):
+            _ = evt.value
+        with pytest.raises(SimulationError):
+            _ = evt.ok
+
+    def test_fail_requires_exception(self):
+        sim = Simulation()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_unhandled_failure_propagates(self):
+        sim = Simulation()
+        sim.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_handled_failure_thrown_into_process(self):
+        sim = Simulation()
+        evt = sim.event()
+
+        def proc(sim):
+            try:
+                yield evt
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = sim.process(proc(sim))
+        evt.fail(RuntimeError("bad"))
+        sim.run()
+        assert p.value == "caught bad"
+
+
+class TestProcess:
+    def test_return_value(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield sim.timeout(1)
+            return 99
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 99
+
+    def test_process_composes_as_event(self):
+        sim = Simulation()
+
+        def child(sim):
+            yield sim.timeout(2.0)
+            return "child-done"
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            return result
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "child-done"
+        assert sim.now == 2.0
+
+    def test_waiting_on_already_finished_process(self):
+        sim = Simulation()
+
+        def child(sim):
+            yield sim.timeout(1.0)
+            return 7
+
+        c = sim.process(child(sim))
+
+        def parent(sim):
+            yield sim.timeout(5.0)
+            v = yield c  # c finished long ago
+            return v
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == 7
+        assert sim.now == 5.0
+
+    def test_exception_in_process_propagates_when_unwaited(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield sim.timeout(1)
+            raise ValueError("kaput")
+
+        sim.process(proc(sim))
+        with pytest.raises(ValueError, match="kaput"):
+            sim.run()
+
+    def test_exception_observable_by_waiter(self):
+        sim = Simulation()
+
+        def bad(sim):
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(sim):
+            try:
+                yield sim.process(bad(sim))
+            except ValueError:
+                return "observed"
+
+        w = sim.process(waiter(sim))
+        sim.run()
+        assert w.value == "observed"
+
+    def test_yield_non_event_raises(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield 42
+
+        sim.process(proc(sim))
+        with pytest.raises(SimulationError, match="must yield events"):
+            sim.run()
+
+    def test_non_generator_rejected(self):
+        sim = Simulation()
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_cross_simulation_event_rejected(self):
+        sim1, sim2 = Simulation(), Simulation()
+        evt2 = sim2.event()
+
+        def proc(sim):
+            yield evt2
+
+        sim1.process(proc(sim1))
+        with pytest.raises(SimulationError, match="another simulation"):
+            sim1.run()
+
+    def test_is_alive(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(proc(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        sim = Simulation()
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        p = sim.process(sleeper(sim))
+
+        def killer(sim):
+            yield sim.timeout(3)
+            p.interrupt(cause="deadline")
+
+        sim.process(killer(sim))
+        sim.run()
+        assert p.value == ("interrupted", "deadline", 3.0)
+
+    def test_interrupt_finished_process_raises(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulation()
+
+        def worker(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(5)
+            return sim.now
+
+        p = sim.process(worker(sim))
+
+        def killer(sim):
+            yield sim.timeout(2)
+            p.interrupt()
+
+        sim.process(killer(sim))
+        sim.run()
+        assert p.value == 7.0
+
+
+class TestConditions:
+    def test_all_of(self):
+        sim = Simulation()
+
+        def proc(sim):
+            t1 = sim.timeout(1, value="a")
+            t2 = sim.timeout(3, value="b")
+            results = yield sim.all_of([t1, t2])
+            return sorted(results.values())
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == ["a", "b"]
+        assert sim.now == 3.0
+
+    def test_any_of(self):
+        sim = Simulation()
+
+        def proc(sim):
+            t1 = sim.timeout(1, value="fast")
+            t2 = sim.timeout(50, value="slow")
+            results = yield sim.any_of([t1, t2])
+            return list(results.values())
+
+        p = sim.process(proc(sim))
+        sim.run(until=2.0)
+        assert p.value == ["fast"]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulation()
+
+        def proc(sim):
+            results = yield sim.all_of([])
+            return results
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == {} and sim.now == 0.0
+
+    def test_all_of_fails_fast(self):
+        sim = Simulation()
+        bad = sim.event()
+
+        def proc(sim):
+            try:
+                yield sim.all_of([sim.timeout(10), bad])
+            except RuntimeError:
+                return sim.now
+
+        p = sim.process(proc(sim))
+        bad.fail(RuntimeError("x"))
+        sim.run()
+        assert p.value == 0.0
+
+    def test_condition_cross_sim_rejected(self):
+        sim1, sim2 = Simulation(), Simulation()
+        with pytest.raises(SimulationError):
+            AllOf(sim1, [sim1.event(), sim2.event()])
+
+    def test_all_of_with_processed_events(self):
+        sim = Simulation()
+        e1 = sim.event()
+        e1.succeed(1)
+        sim.run()  # e1 now processed
+
+        def proc(sim):
+            res = yield sim.all_of([e1, sim.timeout(1, value=2)])
+            return sum(res.values())
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 3
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield sim.timeout(2)
+            return "final"
+
+        p = sim.process(proc(sim))
+        assert sim.run(until=p) == "final"
+
+    def test_deadlock_detected(self):
+        sim = Simulation()
+        never = sim.event()
+
+        def proc(sim):
+            yield never
+
+        p = sim.process(proc(sim))
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=p)
+
+    def test_failed_until_event_raises(self):
+        sim = Simulation()
+
+        def proc(sim):
+            yield sim.timeout(1)
+            raise KeyError("nope")
+
+        p = sim.process(proc(sim))
+        with pytest.raises(KeyError):
+            sim.run(until=p)
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Simulation().step()
+
+
+class TestScheduleCallback:
+    def test_callback_runs_at_delay(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_callback(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]

@@ -1,0 +1,106 @@
+"""Edge cases of the event kernel that the main tests don't reach."""
+
+import pytest
+
+from repro.sim import AnyOf, Interrupt, Simulation, Store
+from repro.sim.kernel import SimulationError
+
+
+class TestLateFailures:
+    def test_anyof_defuses_late_child_failure(self):
+        sim = Simulation()
+        fast = sim.event()
+        slow = sim.event()
+
+        def proc(sim):
+            result = yield sim.any_of([fast, slow])
+            return list(result.values())
+
+        p = sim.process(proc(sim))
+        fast.succeed("winner")
+        sim.run()
+        # the loser fails AFTER the condition decided: must not crash the sim
+        slow.fail(RuntimeError("late loser"))
+        sim.run()
+        assert p.value == ["winner"]
+
+    def test_allof_defuses_second_failure(self):
+        sim = Simulation()
+        a, b = sim.event(), sim.event()
+
+        def proc(sim):
+            try:
+                yield sim.all_of([a, b])
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = sim.process(proc(sim))
+        a.fail(RuntimeError("first"))
+        sim.run()
+        b.fail(RuntimeError("second"))
+        sim.run()
+        assert p.value == "first"
+
+
+class TestInterruptEdges:
+    def test_interrupt_while_waiting_on_store(self):
+        sim = Simulation()
+        store = Store(sim)
+
+        def consumer(sim):
+            try:
+                yield store.get()
+            except Interrupt:
+                return "freed"
+
+        p = sim.process(consumer(sim))
+
+        def killer(sim):
+            yield sim.timeout(1)
+            p.interrupt()
+
+        sim.process(killer(sim))
+        sim.run()
+        assert p.value == "freed"
+
+    def test_interrupt_racing_completion_is_safe(self):
+        sim = Simulation()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(worker(sim))
+
+        def racer(sim):
+            yield sim.timeout(1.0)  # same instant the worker finishes
+            if p.is_alive:
+                p.interrupt()
+
+        sim.process(racer(sim))
+        sim.run()
+        assert p.value == "done"
+
+
+class TestRunSemantics:
+    def test_run_until_already_processed_event(self):
+        sim = Simulation()
+        evt = sim.event()
+        evt.succeed(7)
+        sim.run()
+        assert sim.run(until=evt) == 7  # immediate, no deadlock
+
+    def test_run_until_time_advances_clock_exactly(self):
+        sim = Simulation()
+        sim.timeout(10.0)
+        sim.run(until=3.25)
+        assert sim.now == 3.25
+
+    def test_schedule_callback_ordering(self):
+        sim = Simulation()
+        order = []
+        sim.schedule_callback(1.0, lambda: order.append("a"))
+        sim.schedule_callback(1.0, lambda: order.append("b"))
+        sim.schedule_callback(0.5, lambda: order.append("c"))
+        sim.run()
+        assert order == ["c", "a", "b"]

@@ -1,0 +1,84 @@
+"""Tests for RngRegistry, Monitor, and Gauge."""
+
+import pytest
+
+from repro.sim import Gauge, Monitor, RngRegistry, Simulation
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(seed=7).stream("disk").random(5)
+        b = RngRegistry(seed=7).stream("disk").random(5)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(seed=7)
+        a = reg.stream("disk").random(5)
+        b = reg.stream("net").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("x").random(5)
+        b = RngRegistry(seed=2).stream("x").random(5)
+        assert not (a == b).all()
+
+    def test_stream_cached(self):
+        reg = RngRegistry()
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_helpers(self):
+        reg = RngRegistry(seed=3)
+        u = reg.uniform("u", 2.0, 3.0)
+        assert 2.0 <= u < 3.0
+        e = reg.exponential("e", mean=5.0)
+        assert e >= 0
+        i = reg.integers("i", 0, 10)
+        assert 0 <= i < 10
+        assert reg.choice("c", ["only"]) == "only"
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            RngRegistry().exponential("e", mean=0)
+
+
+class TestMonitor:
+    def test_meter_records_at_sim_time(self):
+        sim = Simulation()
+        mon = Monitor(sim, window=1.0)
+
+        def proc(sim):
+            yield sim.timeout(0.5)
+            mon.record_bytes("net", 100)
+            yield sim.timeout(1.0)
+            mon.record_bytes("net", 300)
+
+        sim.process(proc(sim))
+        sim.run()
+        series = mon.rate_series("net", t_end=2.0)
+        assert series.values == [100.0, 300.0]
+
+    def test_meter_cached_by_name(self):
+        sim = Simulation()
+        mon = Monitor(sim)
+        assert mon.meter("a") is mon.meter("a")
+        assert mon.meter("a") is not mon.meter("b")
+
+    def test_gauge(self):
+        sim = Simulation()
+        mon = Monitor(sim)
+
+        def proc(sim):
+            mon.gauge("queue").set(3)
+            yield sim.timeout(2)
+            mon.gauge("queue").set(5)
+
+        sim.process(proc(sim))
+        sim.run()
+        g = mon.gauge("queue")
+        assert g.last() == 5
+        assert g.series.times == [0.0, 2.0]
+
+    def test_gauge_unset_raises(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            Gauge(sim, name="g").last()

@@ -1,0 +1,262 @@
+"""Tests for sim resources (Resource, PriorityResource, Store, Container)."""
+
+import pytest
+
+from repro.sim import Container, PriorityResource, Resource, Simulation, Store
+from repro.sim.kernel import SimulationError
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(sim, tag, hold):
+            req = res.request()
+            yield req
+            log.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+            res.release(req)
+            log.append((tag, "out", sim.now))
+
+        sim.process(user(sim, "a", 2.0))
+        sim.process(user(sim, "b", 1.0))
+        sim.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 3.0),
+        ]
+
+    def test_capacity_n_parallel(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=3)
+        done = []
+
+        def user(sim, i):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+                done.append((i, sim.now))
+
+        for i in range(6):
+            sim.process(user(sim, i))
+        sim.run()
+        # two waves of 3
+        assert [t for _, t in done] == [1.0] * 3 + [2.0] * 3
+
+    def test_context_manager_releases(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+
+        def user(sim):
+            with res.request() as req:
+                yield req
+            return res.count
+
+        p = sim.process(user(sim))
+        sim.run()
+        assert p.value == 0
+
+    def test_release_queued_request(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+        held = res.request()  # granted immediately
+        queued = res.request()
+        assert not queued.triggered
+        res.release(queued)  # cancel while queued
+        res.release(held)
+        assert res.count == 0
+
+    def test_release_unknown_raises(self):
+        sim = Simulation()
+        r1 = Resource(sim, capacity=1)
+        r2 = Resource(sim, capacity=1)
+        req = r1.request()
+        with pytest.raises(SimulationError):
+            r2.release(req)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulation(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_lower_priority_number_first(self):
+        sim = Simulation()
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def user(sim, tag, prio, t_start):
+            yield sim.timeout(t_start)
+            req = res.request(priority=prio)
+            yield req
+            order.append(tag)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        sim.process(user(sim, "holder", 0, 0.0))
+        sim.process(user(sim, "low", 5, 0.1))
+        sim.process(user(sim, "high", 1, 0.2))
+        sim.run()
+        assert order == ["holder", "high", "low"]
+
+    def test_fifo_within_priority(self):
+        sim = Simulation()
+        res = PriorityResource(sim, capacity=1)
+        order = []
+
+        def user(sim, tag, t_start):
+            yield sim.timeout(t_start)
+            req = res.request(priority=1)
+            yield req
+            order.append(tag)
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        sim.process(user(sim, "first", 0.0))
+        sim.process(user(sim, "second", 0.1))
+        sim.process(user(sim, "third", 0.2))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cancel_queued(self):
+        sim = Simulation()
+        res = PriorityResource(sim, capacity=1)
+        held = res.request()
+        queued = res.request(priority=2)
+        res.release(queued)
+        res.release(held)
+        assert res.count == 0
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        sim = Simulation()
+        store = Store(sim)
+
+        def producer(sim):
+            for item in ["a", "b"]:
+                yield store.put(item)
+
+        def consumer(sim):
+            x = yield store.get()
+            y = yield store.get()
+            return [x, y]
+
+        sim.process(producer(sim))
+        p = sim.process(consumer(sim))
+        sim.run()
+        assert p.value == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulation()
+        store = Store(sim)
+
+        def consumer(sim):
+            item = yield store.get()
+            return (item, sim.now)
+
+        def producer(sim):
+            yield sim.timeout(5)
+            yield store.put("late")
+
+        p = sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert p.value == ("late", 5.0)
+
+    def test_bounded_put_blocks(self):
+        sim = Simulation()
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer(sim):
+            yield store.put(1)
+            times.append(sim.now)
+            yield store.put(2)
+            times.append(sim.now)
+
+        def consumer(sim):
+            yield sim.timeout(3)
+            yield store.get()
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert times == [0.0, 3.0]
+
+    def test_len(self):
+        sim = Simulation()
+        store = Store(sim)
+        store.put("x")
+        assert len(store) == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Simulation(), capacity=0)
+
+
+class TestContainer:
+    def test_level_tracking(self):
+        sim = Simulation()
+        c = Container(sim, capacity=100, init=50)
+        assert c.level == 50
+
+        def proc(sim):
+            yield c.get(20)
+            yield c.put(5)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert c.level == 35
+
+    def test_get_blocks_until_available(self):
+        sim = Simulation()
+        c = Container(sim, capacity=100, init=0)
+
+        def getter(sim):
+            yield c.get(10)
+            return sim.now
+
+        def putter(sim):
+            yield sim.timeout(4)
+            yield c.put(10)
+
+        g = sim.process(getter(sim))
+        sim.process(putter(sim))
+        sim.run()
+        assert g.value == 4.0
+
+    def test_put_blocks_at_capacity(self):
+        sim = Simulation()
+        c = Container(sim, capacity=10, init=10)
+
+        def putter(sim):
+            yield c.put(5)
+            return sim.now
+
+        def getter(sim):
+            yield sim.timeout(2)
+            yield c.get(7)
+
+        p = sim.process(putter(sim))
+        sim.process(getter(sim))
+        sim.run()
+        assert p.value == 2.0
+
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            Container(sim, capacity=0)
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10, init=20)
+        c = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            c.get(20)
+        with pytest.raises(ValueError):
+            c.put(-1)
+        with pytest.raises(ValueError):
+            c.get(-1)

@@ -1,0 +1,106 @@
+"""Tests for RAID degraded mode, rebuild, and hot spares."""
+
+import pytest
+
+from repro.sim import Simulation
+from repro.storage import RaidSet, SATA_2005, make_ds4100
+from repro.storage.raid import DataLossError, RaidState
+from repro.util.units import MB
+
+
+def make(detailed=False):
+    sim = Simulation()
+    return sim, RaidSet(sim, SATA_2005, detailed=detailed)
+
+
+class TestFailure:
+    def test_single_failure_degrades(self):
+        _, raid = make()
+        raid.fail_disk()
+        assert raid.state is RaidState.DEGRADED
+        assert raid.service_factor == raid.degraded_factor
+
+    def test_second_failure_loses_data(self):
+        sim, raid = make()
+        raid.fail_disk()
+        raid.fail_disk()
+        assert raid.state is RaidState.FAILED
+        with pytest.raises(DataLossError):
+            raid.io("read", MB(1))
+
+    def test_degraded_reads_slower(self):
+        sim_h, healthy = make()
+        sim_d, degraded = make()
+        degraded.fail_disk()
+        n = 8 * MB(60)
+        sim_h.run(until=healthy.io("read", n))
+        sim_d.run(until=degraded.io("read", n))
+        assert sim_d.now == pytest.approx(sim_h.now / degraded.degraded_factor)
+
+    def test_degraded_detailed_mode(self):
+        sim, raid = make(detailed=True)
+        raid.fail_disk()
+        evt = raid.io("read", MB(8))
+        sim.run(until=evt)
+        assert sim.now > 0
+
+
+class TestRebuild:
+    def test_rebuild_duration_and_recovery(self):
+        sim, raid = make()
+        raid.fail_disk()
+        evt = raid.rebuild()
+        assert raid.state is RaidState.REBUILDING
+        sim.run(until=evt)
+        assert raid.state is RaidState.HEALTHY
+        # 250 GB at 25 MB/s = 10_000 s (~2.8 h), the Fig 9 exposure window
+        assert sim.now == pytest.approx(SATA_2005.capacity / raid.rebuild_rate)
+
+    def test_io_continues_during_rebuild(self):
+        sim, raid = make()
+        raid.fail_disk()
+        raid.rebuild()
+        evt = raid.io("read", 8 * MB(60))
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(1.0 / raid.rebuilding_factor)
+
+    def test_rebuild_requires_degraded(self):
+        _, raid = make()
+        with pytest.raises(ValueError):
+            raid.rebuild()
+
+    def test_rebuild_after_data_loss_rejected(self):
+        _, raid = make()
+        raid.fail_disk()
+        raid.fail_disk()
+        with pytest.raises(DataLossError):
+            raid.rebuild()
+
+
+class TestHotSpares:
+    def test_auto_rebuild_consumes_spare(self):
+        sim = Simulation()
+        array = make_ds4100(sim, "b0")
+        assert array.hot_spares == 4
+        evt = array.fail_disk(0)
+        assert evt is not None
+        assert array.hot_spares == 3
+        assert array.luns[0].raid.state is RaidState.REBUILDING
+        sim.run(until=evt)
+        assert array.luns[0].raid.state is RaidState.HEALTHY
+
+    def test_no_spares_stays_degraded(self):
+        sim = Simulation()
+        array = make_ds4100(sim, "b0")
+        array.hot_spares = 0
+        evt = array.fail_disk(0)
+        assert evt is None
+        assert array.luns[0].raid.state is RaidState.DEGRADED
+
+    def test_spares_exhaust(self):
+        sim = Simulation()
+        array = make_ds4100(sim, "b0")
+        for lun_idx in range(4):
+            assert array.fail_disk(lun_idx) is not None
+        assert array.hot_spares == 0
+        assert array.fail_disk(4) is None

@@ -1,0 +1,46 @@
+"""Tests for the SAN fabric's optional aggregate bandwidth cap."""
+
+import pytest
+
+from repro.sim import Simulation
+from repro.storage import Hba, SanFabric, make_ds4100
+from repro.util.units import MB
+
+
+def make(aggregate_rate=None, servers=2):
+    sim = Simulation()
+    array = make_ds4100(sim, "b0")
+    fabric = SanFabric(sim, aggregate_rate=aggregate_rate)
+    for i in range(servers):
+        fabric.attach_server(f"s{i}", Hba(sim))
+        fabric.zone(f"s{i}", array.luns[i])
+    return sim, fabric, array
+
+
+class TestAggregateCap:
+    def test_uncapped_servers_independent(self):
+        sim, fabric, array = make(aggregate_rate=None)
+        e0 = fabric.io("s0", array.luns[0], "read", MB(100))
+        e1 = fabric.io("s1", array.luns[1], "read", MB(100))
+        sim.run(until=sim.all_of([e0, e1]))
+        uncapped = sim.now
+        # a tight shared cap makes the same pair of IOs slower
+        sim2, fabric2, array2 = make(aggregate_rate=MB(50))
+        e0 = fabric2.io("s0", array2.luns[0], "read", MB(100))
+        e1 = fabric2.io("s1", array2.luns[1], "read", MB(100))
+        sim2.run(until=sim2.all_of([e0, e1]))
+        assert sim2.now > 2 * uncapped
+
+    def test_capped_throughput_bound(self):
+        sim, fabric, array = make(aggregate_rate=MB(100))
+        nbytes = MB(200)
+        e0 = fabric.io("s0", array.luns[0], "read", nbytes)
+        e1 = fabric.io("s1", array.luns[1], "read", nbytes)
+        sim.run(until=sim.all_of([e0, e1]))
+        # 400 MB total through a 100 MB/s fabric: at least 4 seconds
+        assert sim.now >= 2 * nbytes / MB(100)
+
+    def test_luns_for(self):
+        sim, fabric, array = make()
+        assert fabric.luns_for("s0") == [array.luns[0]]
+        assert fabric.luns_for("ghost") == []

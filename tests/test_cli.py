@@ -1,0 +1,26 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "SC'05" in out
+        assert "E1" in out and "A6" in out
+
+    def test_info_explicit(self, capsys):
+        assert main(["info"]) == 0
+
+    def test_report_forwarding(self, capsys, tmp_path):
+        out = tmp_path / "r.txt"
+        rc = main(["report", "--quick", "--only", "A3", "--out", str(out)])
+        assert rc == 0
+        assert "A3" in out.read_text()
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

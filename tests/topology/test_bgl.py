@@ -1,0 +1,50 @@
+"""Tests for the BG/L attach (§5's Intimidata)."""
+
+import pytest
+
+from repro.topology.sdsc2005 import attach_bgl, build_sdsc2005
+from repro.util.units import Gbps
+
+
+def scenario():
+    return build_sdsc2005(nsd_servers=4, ds4100_count=2, sdsc_clients=1,
+                          anl_clients=0, ncsa_clients=0)
+
+
+class TestAttachBgl:
+    def test_io_nodes_created_and_joined(self):
+        s = scenario()
+        names = attach_bgl(s, io_nodes=8)
+        assert len(names) == 8
+        assert s.clients["bgl"] == names
+        # I/O nodes are members of the SDSC cluster (local mount, §5)
+        for name in names:
+            assert s.gfs.cluster_of_node(name) is s.sdsc
+
+    def test_mountable(self):
+        s = scenario()
+        attach_bgl(s, io_nodes=2)
+        mounts = s.mount_clients("bgl")
+        assert len(mounts) == 2
+        assert all(m.fs is s.fs for m in mounts)
+
+    def test_design_point_aggregate(self):
+        s = scenario()
+        names = attach_bgl(s, io_nodes=64, nic_rate=Gbps(2))
+        # 64 I/O nodes x 2 Gb/s = the 128 Gb/s "exact match" of §5
+        total = sum(
+            s.gfs.network.bottleneck_rate(n, "bgl-fabric") for n in names
+        )
+        assert total <= Gbps(128)
+        assert total > Gbps(100)
+
+    def test_compute_node_metadata(self):
+        s = scenario()
+        names = attach_bgl(s, io_nodes=2, compute_per_io=32)
+        node = s.gfs.network.node(names[0])
+        assert node.meta["compute_nodes"] == 32
+
+    def test_validation(self):
+        s = scenario()
+        with pytest.raises(ValueError):
+            attach_bgl(s, io_nodes=0)

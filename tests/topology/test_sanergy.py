@@ -1,0 +1,42 @@
+"""Behavioural tests for the SC'02 SANergy/FCIP data path."""
+
+import pytest
+
+from repro.topology.sc02 import build_sc02
+from repro.util.units import GB, MB, MiB
+
+
+def rate_for(outstanding, command_bytes=MiB(8), nbytes=GB(4)):
+    scenario = build_sc02(outstanding=outstanding, command_bytes=command_bytes)
+    sim = scenario.sim
+    sim.run(until=scenario.client.stream_read(nbytes))
+    return nbytes / sim.now
+
+
+class TestSanergyPipelining:
+    def test_rate_grows_with_outstanding_commands(self):
+        r2 = rate_for(2)
+        r6 = rate_for(6)
+        r12 = rate_for(12)
+        assert r2 < r6 < r12
+
+    def test_saturates_at_tunnel_ceiling(self):
+        scenario = build_sc02(outstanding=64)
+        ceiling = scenario.tunnel.usable_rate
+        assert rate_for(64) <= ceiling
+
+    def test_latency_bound_regime_matches_bdp(self):
+        # 2 outstanding x 8 MiB over ~>=80ms RTT path: rate ~ window/latency
+        r2 = rate_for(2)
+        assert r2 == pytest.approx(2 * MiB(8) / 0.130, rel=0.4)
+
+    def test_bigger_commands_beat_smaller_at_same_depth(self):
+        small = rate_for(8, command_bytes=MiB(2))
+        big = rate_for(8, command_bytes=MiB(8))
+        assert big > 1.5 * small
+
+    def test_meter_accounts_all_bytes(self):
+        scenario = build_sc02()
+        sim = scenario.sim
+        sim.run(until=scenario.client.stream_read(MB(512)))
+        assert scenario.client.meter.total_bytes == pytest.approx(MB(512))

@@ -1,0 +1,43 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_render_basic(self):
+        t = Table(["nodes", "MB/s"])
+        t.add_row([4, 812.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "nodes | MB/s"
+        assert "-+-" in lines[1]
+        assert lines[2].endswith("812.5")
+
+    def test_title(self):
+        t = Table(["a"], title="Fig 11")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "Fig 11"
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([1234.5678])
+        t.add_row([1.23456])
+        body = t.render().splitlines()
+        assert "1234.6" in body[2]
+        assert "1.23" in body[3]
+
+    def test_render_no_rows(self):
+        t = Table(["only", "header"])
+        out = t.render()
+        assert "only" in out and "header" in out

@@ -1,0 +1,134 @@
+"""Tests for repro.util.timeseries."""
+
+import pytest
+
+from repro.util.timeseries import RateMeter, TimeSeries
+
+
+class TestTimeSeries:
+    def test_add_and_len(self):
+        ts = TimeSeries(name="x")
+        ts.add(0.0, 1.0)
+        ts.add(1.0, 2.0)
+        assert len(ts) == 2
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_monotone_time_enforced(self):
+        ts = TimeSeries()
+        ts.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.add(4.9, 1.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.add(1.0, 1.0)
+        ts.add(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_stats(self):
+        ts = TimeSeries()
+        for i, v in enumerate([10.0, 30.0, 20.0]):
+            ts.add(float(i), v)
+        assert ts.max() == 30.0
+        assert ts.min() == 10.0
+        assert ts.mean() == 20.0
+
+    def test_stats_on_empty_raise(self):
+        ts = TimeSeries(name="e")
+        for fn in (ts.max, ts.min, ts.mean):
+            with pytest.raises(ValueError):
+                fn()
+
+    def test_percentile(self):
+        ts = TimeSeries()
+        for i in range(100):
+            ts.add(float(i), float(i + 1))
+        assert ts.percentile(50) == 50.0
+        assert ts.percentile(100) == 100.0
+        assert ts.percentile(0) == 1.0
+
+    def test_percentile_range_check(self):
+        ts = TimeSeries()
+        ts.add(0, 1)
+        with pytest.raises(ValueError):
+            ts.percentile(101)
+
+    def test_value_at_piecewise_constant(self):
+        ts = TimeSeries()
+        ts.add(0.0, 1.0)
+        ts.add(10.0, 5.0)
+        assert ts.value_at(-1.0) == 1.0  # clamp before first
+        assert ts.value_at(0.0) == 1.0
+        assert ts.value_at(9.99) == 1.0
+        assert ts.value_at(10.0) == 5.0
+        assert ts.value_at(100.0) == 5.0
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.add(0.0, 0.0)
+        ts.add(1.0, 10.0)  # value 0 held for 1s
+        ts.add(3.0, 0.0)  # value 10 held for 2s
+        assert ts.time_weighted_mean() == pytest.approx(20.0 / 3.0)
+
+    def test_resample(self):
+        ts = TimeSeries()
+        ts.add(0.0, 1.0)
+        ts.add(2.0, 3.0)
+        rs = ts.resample([0.0, 1.0, 2.0, 3.0])
+        assert rs.values == [1.0, 1.0, 3.0, 3.0]
+
+    def test_slice(self):
+        ts = TimeSeries()
+        for t in range(5):
+            ts.add(float(t), float(t))
+        sl = ts.slice(1.0, 3.0)
+        assert sl.times == [1.0, 2.0]
+
+    def test_sum_of(self):
+        a = TimeSeries(name="a")
+        a.add(0.0, 1.0)
+        a.add(2.0, 2.0)
+        b = TimeSeries(name="b")
+        b.add(1.0, 10.0)
+        total = TimeSeries.sum_of([a, b])
+        # grid: 0,1,2 — b contributes only from t=1
+        assert total.times == [0.0, 1.0, 2.0]
+        assert total.values == [1.0, 11.0, 12.0]
+
+
+class TestRateMeter:
+    def test_total_and_mean(self):
+        m = RateMeter(window=1.0)
+        m.record(0.5, 100.0)
+        m.record(1.5, 300.0)
+        assert m.total_bytes == 400.0
+        assert m.mean_rate(t_end=2.0) == pytest.approx(200.0)
+
+    def test_series_bins(self):
+        m = RateMeter(window=1.0)
+        m.record(0.25, 100.0)
+        m.record(0.75, 100.0)
+        m.record(1.5, 50.0)
+        s = m.series(t_end=2.0)
+        assert s.values == [200.0, 50.0]
+        assert s.times == [1.0, 2.0]
+
+    def test_empty_meter(self):
+        m = RateMeter()
+        assert m.mean_rate() == 0.0
+        assert m.series().empty
+
+    def test_monotonicity_enforced(self):
+        m = RateMeter()
+        m.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            m.record(1.0, 1.0)
+
+    def test_negative_bytes_rejected(self):
+        m = RateMeter()
+        with pytest.raises(ValueError):
+            m.record(0.0, -1.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            RateMeter(window=0.0)

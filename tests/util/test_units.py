@@ -1,0 +1,90 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util import units
+
+
+class TestConstructors:
+    def test_decimal_sizes(self):
+        assert units.KB(1) == 1e3
+        assert units.MB(2) == 2e6
+        assert units.GB(0.5) == 5e8
+        assert units.TB(1) == 1e12
+        assert units.PB(1) == 1e15
+
+    def test_paper_disk_arithmetic(self):
+        # "32 x 67 x 250 GB = 536 TB" (paper §5)
+        raw = 32 * 67 * units.GB(250)
+        assert raw == units.TB(536)
+
+    def test_binary_sizes(self):
+        assert units.KiB(1) == 1024
+        assert units.MiB(1) == 1024**2
+        assert units.GiB(2) == 2 * 1024**3
+        assert units.TiB(1) == 1024**4
+
+    def test_binary_sizes_are_ints(self):
+        assert isinstance(units.MiB(4), int)
+
+    def test_rates(self):
+        assert units.Gbps(8) == 1e9  # 8 Gb/s == 1 GB/s
+        assert units.Mbps(8) == 1e6
+        assert units.Kbps(8) == 1e3
+
+    def test_rate_aliases(self):
+        assert units.gbit(10) == units.Gbps(10)
+        assert units.mbit(1) == units.Mbps(1)
+        assert units.kbit(1) == units.Kbps(1)
+
+    def test_bits_roundtrip(self):
+        assert units.to_bits(units.bits(1234.0)) == pytest.approx(1234.0)
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(units.TB(536)) == "536.00 TB"
+        assert units.fmt_bytes(units.GB(1.5)) == "1.50 GB"
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(0) == "0 B"
+
+    def test_fmt_bytes_negative(self):
+        assert units.fmt_bytes(-units.GB(1)) == "-1.00 GB"
+
+    def test_fmt_rate(self):
+        assert units.fmt_rate(units.GB(1.12)) == "1.12 GB/s"
+
+    def test_fmt_bits_rate_paper_number(self):
+        # SC'03 peak: "8.96 Gb/s"
+        assert units.fmt_bits_rate(units.Gbps(8.96)) == "8.96 Gb/s"
+
+    def test_fmt_bits_rate_small(self):
+        assert units.fmt_bits_rate(units.bits(500)) == "500 b/s"
+
+    def test_fmt_time(self):
+        assert units.fmt_time(2 * 3600 + 3 * 60) == "2h03m"
+        assert units.fmt_time(65) == "1m05.0s"
+        assert units.fmt_time(14.2) == "14.20 s"
+        assert units.fmt_time(0.31) == "310.0 ms"
+        assert units.fmt_time(2e-5) == "20.0 us"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("250GB", 250e9),
+            ("1 MiB", 1024.0**2),
+            ("64kb", 64e3),
+            ("1.5tb", 1.5e12),
+            ("512", 512.0),
+            ("2PB", 2e15),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert units.parse_size(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "GB", "12xx", "1 floppy"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            units.parse_size(text)

@@ -1,0 +1,55 @@
+"""Tests for TimeSeries.windowed_mean."""
+
+import pytest
+
+from repro.util.timeseries import TimeSeries
+
+
+def make(points):
+    ts = TimeSeries()
+    for t, v in points:
+        ts.add(t, v)
+    return ts
+
+
+class TestWindowedMean:
+    def test_constant_signal(self):
+        ts = make([(0.0, 10.0), (5.0, 10.0)])
+        wm = ts.windowed_mean(1.0, t_end=5.0)
+        assert wm.values == [10.0] * 5
+
+    def test_step_mid_window(self):
+        # 0 for [0, 0.5), 100 for [0.5, 1.0) → window mean 50
+        ts = make([(0.0, 0.0), (0.5, 100.0)])
+        wm = ts.windowed_mean(1.0, t_end=1.0)
+        assert wm.values == [pytest.approx(50.0)]
+
+    def test_step_at_boundary(self):
+        ts = make([(0.0, 10.0), (1.0, 30.0)])
+        wm = ts.windowed_mean(1.0, t_end=2.0)
+        assert wm.values == [pytest.approx(10.0), pytest.approx(30.0)]
+
+    def test_spike_diluted(self):
+        # a 0.1s spike of 1000 in an otherwise-zero 1s window → 100
+        ts = make([(0.0, 0.0), (0.4, 1000.0), (0.5, 0.0)])
+        wm = ts.windowed_mean(1.0, t_end=1.0)
+        assert wm.values == [pytest.approx(100.0)]
+
+    def test_partial_last_window(self):
+        ts = make([(0.0, 10.0)])
+        wm = ts.windowed_mean(1.0, t_end=1.5)
+        assert len(wm) == 2
+        assert wm.values[1] == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert TimeSeries().windowed_mean(1.0).empty
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            make([(0, 1)]).windowed_mean(0.0)
+
+    def test_total_mass_preserved(self):
+        ts = make([(0.0, 5.0), (1.3, 20.0), (2.7, 0.0), (4.0, 0.0)])
+        wm = ts.windowed_mean(1.0, t_end=4.0)
+        integral_direct = 5.0 * 1.3 + 20.0 * (2.7 - 1.3)
+        assert sum(wm.values) * 1.0 == pytest.approx(integral_direct)

@@ -1,0 +1,213 @@
+"""Tests for the application workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import KiB, MB
+from repro.workloads import (
+    EnzoRun,
+    NvoQueryStream,
+    ScecRun,
+    SortApp,
+    VizReader,
+    mpiio_collective,
+)
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+
+def bed(clients=2, blocks_per_nsd=8192):
+    g, cluster, fs, client_names = small_gfs(
+        clients=clients, blocks_per_nsd=blocks_per_nsd
+    )
+    mounts = [mounted(g, cluster, node=c) for c in client_names]
+    return g, fs, mounts
+
+
+def make_file(g, mount, path, nbytes):
+    def io():
+        h = yield mount.open(path, "w", create=True)
+        yield mount.write(h, b"\x00" * nbytes)
+        yield mount.close(h)
+
+    run_io(g, io())
+
+
+class TestEnzo:
+    def test_dumps_written(self):
+        g, fs, mounts = bed()
+        run = EnzoRun(
+            mounts,
+            "/enzo",
+            steps=3,
+            bytes_per_dump=MB(2),
+            compute_seconds=10.0,
+        )
+        result = g.run(until=run.run())
+        assert result.bytes_written == pytest.approx(MB(6))
+        assert result.extra["dumps"] == 3
+        # three dumps x len(mounts) files
+        names = fs.namespace.listdir("/enzo")
+        assert len(names) == 3 * len(mounts)
+
+    def test_compute_time_dominates_schedule(self):
+        g, fs, mounts = bed()
+        run = EnzoRun(mounts, "/enzo", steps=2, bytes_per_dump=MB(1), compute_seconds=100.0)
+        result = g.run(until=run.run())
+        assert result.elapsed >= 200.0
+
+    def test_validation(self):
+        g, fs, mounts = bed()
+        with pytest.raises(ValueError):
+            EnzoRun([], "/x", bytes_per_dump=1)
+        with pytest.raises(ValueError):
+            EnzoRun(mounts, "/x", steps=0, bytes_per_dump=1)
+
+
+class TestViz:
+    def test_reads_whole_file(self):
+        g, fs, mounts = bed()
+        make_file(g, mounts[0], "/data", int(MB(4)))
+        viz = VizReader(mounts[1], "/data")
+        result = g.run(until=viz.run())
+        assert result.bytes_read == MB(4)
+        assert result.extra["restarted"] == 0.0
+
+    def test_restart_pauses_and_resumes(self):
+        g, fs, mounts = bed()
+        make_file(g, mounts[0], "/data", int(MB(4)))
+        start = g.sim.now
+        viz = VizReader(
+            mounts[1], "/data", restart_at=start + 0.01, restart_pause=5.0
+        )
+        result = g.run(until=viz.run())
+        assert result.extra["restarted"] == 1.0
+        assert result.elapsed > 5.0  # paid the pause
+        assert result.bytes_read == MB(4)  # still read everything
+
+    def test_multiple_passes(self):
+        g, fs, mounts = bed()
+        make_file(g, mounts[0], "/data", int(MB(1)))
+        viz = VizReader(mounts[1], "/data", passes=3)
+        result = g.run(until=viz.run())
+        assert result.bytes_read == MB(3)
+
+
+class TestSort:
+    def test_reads_and_writes_equal(self):
+        g, fs, mounts = bed()
+        make_file(g, mounts[0], "/input", int(MB(2)))
+        sort = SortApp(mounts[1], "/input", "/output")
+        result = g.run(until=sort.run())
+        assert result.bytes_read == MB(2)
+        assert result.bytes_written == MB(2)
+        assert fs.namespace.resolve("/output").size == MB(2)
+
+    def test_phased_alternation(self):
+        g, fs, mounts = bed()
+        make_file(g, mounts[0], "/input", int(MB(2)))
+        sort = SortApp(mounts[1], "/input", "/out", phase_bytes=int(MB(0.5)))
+        result = g.run(until=sort.run())
+        assert result.bytes_total == MB(4)
+
+
+class TestNvo:
+    def test_partial_access(self):
+        g, fs, mounts = bed(blocks_per_nsd=16384)
+        make_file(g, mounts[0], "/catalog", int(MB(8)))
+        rng = np.random.default_rng(1)
+        nvo = NvoQueryStream(mounts[1], "/catalog", queries=20,
+                             bytes_per_query=int(KiB(64)), rng=rng)
+        result = g.run(until=nvo.run())
+        assert result.ops == 20
+        assert result.bytes_read == pytest.approx(20 * KiB(64), rel=0.05)
+        # touched far less than the whole catalog
+        assert result.bytes_read < MB(8) / 2
+
+    def test_zipf_skew_improves_cache(self):
+        g, fs, mounts = bed(blocks_per_nsd=16384)
+        make_file(g, mounts[0], "/catalog", int(MB(8)))
+        uniform = NvoQueryStream(
+            mounts[1], "/catalog", 100, int(KiB(16)), np.random.default_rng(2)
+        )
+        g.run(until=uniform.run())
+        uniform_hits = mounts[1].pool.hits
+        g2, fs2, mounts2 = bed(blocks_per_nsd=16384)
+        make_file(g2, mounts2[0], "/catalog", int(MB(8)))
+        skewed = NvoQueryStream(
+            mounts2[1], "/catalog", 100, int(KiB(16)),
+            np.random.default_rng(2), zipf_regions=16,
+        )
+        g2.run(until=skewed.run())
+        assert mounts2[1].pool.hits >= uniform_hits
+
+    def test_validation(self):
+        g, fs, mounts = bed()
+        with pytest.raises(ValueError):
+            NvoQueryStream(mounts[0], "/c", 0, 1, np.random.default_rng(0))
+
+
+class TestScec:
+    def test_total_written(self):
+        g, fs, mounts = bed()
+        run = ScecRun(mounts, "/scec", total_bytes=MB(4))
+        result = g.run(until=run.run())
+        assert result.bytes_written == MB(4)
+        assert len(fs.namespace.listdir("/scec")) == len(mounts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScecRun([], "/x", total_bytes=1)
+
+
+class TestMpiio:
+    def test_write_then_read(self):
+        g, fs, mounts = bed(clients=4)
+        region = 8 * fs.block_size
+        w = g.run(
+            until=mpiio_collective(mounts, "/shared", "write",
+                                   region_bytes=region,
+                                   transfer_bytes=fs.block_size)
+        )
+        assert w.bytes_written == 4 * region
+        assert w.extra["nodes"] == 4
+        r = g.run(
+            until=mpiio_collective(mounts, "/shared", "read",
+                                   region_bytes=region,
+                                   transfer_bytes=fs.block_size)
+        )
+        assert r.bytes_read == 4 * region
+        assert r.extra["rate"] > 0
+
+    def test_disjoint_regions_bounded_token_traffic(self):
+        # Disjoint regions conflict only while whole-file desired ranges
+        # shrink; token traffic must stay O(ranks * log(region)), far below
+        # one RPC per transfer.
+        g, fs, mounts = bed(clients=4)
+        region = 16 * fs.block_size
+        g.run(until=mpiio_collective(mounts, "/shared", "write",
+                                     region_bytes=region,
+                                     transfer_bytes=fs.block_size))
+        transfers = 4 * 16
+        assert fs.token_manager.grants < transfers / 2
+        assert fs.token_manager.revokes <= 4 * 8
+
+    def test_more_nodes_more_aggregate(self):
+        g, fs, mounts = bed(clients=4)
+        region = 8 * fs.block_size
+        r1 = g.run(until=mpiio_collective(mounts[:1], "/f1", "write",
+                                          region_bytes=region,
+                                          transfer_bytes=fs.block_size))
+        r4 = g.run(until=mpiio_collective(mounts, "/f4", "write",
+                                          region_bytes=region,
+                                          transfer_bytes=fs.block_size))
+        assert r4.extra["rate"] > r1.extra["rate"]
+
+    def test_validation(self):
+        g, fs, mounts = bed()
+        with pytest.raises(ValueError):
+            mpiio_collective(mounts, "/x", "append")
+        with pytest.raises(ValueError):
+            mpiio_collective([], "/x")
+        with pytest.raises(ValueError):
+            mpiio_collective(mounts, "/x", region_bytes=1, transfer_bytes=2)
