@@ -45,6 +45,7 @@ def main(argv=None) -> int:
     report.add_argument("--quick", action="store_true")
     report.add_argument("--only", nargs="*", metavar="ID")
     report.add_argument("--out", metavar="FILE")
+    report.add_argument("--profile", action="store_true")
     args = parser.parse_args(argv)
 
     if args.command == "info" or args.command is None:
@@ -60,6 +61,8 @@ def main(argv=None) -> int:
             forwarded += ["--only", *args.only]
         if args.out:
             forwarded += ["--out", args.out]
+        if args.profile:
+            forwarded.append("--profile")
         return report_main(forwarded)
     parser.error(f"unknown command {args.command!r}")
     return 2

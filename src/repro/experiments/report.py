@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments.report --quick    # scaled-down, a few min
     python -m repro.experiments.report --only E1 E8 A3
     python -m repro.experiments.report --out report.txt
+    python -m repro.experiments.report --quick --profile   # + solver counters
 """
 
 from __future__ import annotations
@@ -108,6 +109,9 @@ def main(argv=None) -> int:
     parser.add_argument("--only", nargs="*", metavar="ID",
                         help="run only these experiment ids (e.g. E1 A3)")
     parser.add_argument("--out", metavar="FILE", help="also write to FILE")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect and print simulator self-profiling "
+                             "(kernel events, solver work) per experiment")
     args = parser.parse_args(argv)
 
     registry = _registry(args.quick)
@@ -116,14 +120,25 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment ids {unknown}; known: {list(registry)}")
 
+    from repro.sim.profile import PROFILE
+
     sections = []
     for exp_id in wanted:
         label, thunk = registry[exp_id]
         t0 = time.time()
         print(f"[{exp_id}] {label} ...", file=sys.stderr, flush=True)
-        result = thunk()
+        if args.profile:
+            PROFILE.reset()
+            PROFILE.enable()
+        try:
+            result = thunk()
+        finally:
+            PROFILE.disable()
         elapsed = time.time() - t0
-        sections.append(format_result(result) + f"\n({elapsed:.1f}s wall)")
+        section = format_result(result) + f"\n({elapsed:.1f}s wall)"
+        if args.profile:
+            section += "\n" + PROFILE.report()
+        sections.append(section)
 
     report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
     print(report)

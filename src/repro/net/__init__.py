@@ -19,7 +19,7 @@ from repro.net.tcp import TcpModel
 from repro.net.link import Link
 from repro.net.topology import Network, NetNode
 from repro.net.flow import Flow, FlowEngine
-from repro.net.fairshare import max_min_rates
+from repro.net.fairshare import FairshareState, max_min_rates
 from repro.net.fcip import FcipTunnel, add_fcip_tunnel
 from repro.net.message import MessageService
 
@@ -30,6 +30,7 @@ __all__ = [
     "NetNode",
     "Flow",
     "FlowEngine",
+    "FairshareState",
     "max_min_rates",
     "FcipTunnel",
     "add_fcip_tunnel",

@@ -12,16 +12,83 @@ Each iteration removes at least one link or the whole capped set, so the
 loop runs O(links) times; each iteration is dense numpy over an L×F
 incidence matrix (see the HPC guide: vectorize the hot loop, profile before
 going lower-level — this routine is the simulator's hot spot).
+
+Two entry points share the solver core:
+
+* :func:`max_min_rates` — stateless, rebuilds the incidence matrix per
+  call. Fine for one-shot questions and property tests.
+* :class:`FairshareState` — persistent incidence state for the flow
+  engine's event loop: columns are added/removed as flows come and go
+  (amortized growth, freed columns reused), the link-sharing graph is
+  partitioned into connected components with a union-find, and
+  :meth:`FairshareState.solve` re-runs water-filling only for components
+  marked dirty by a membership or capacity change. Adding a flow between
+  SDSC and NCSA must not re-solve an untouched DEISA mesh.
+
+The allocation is the unique max-min fair solution, so solving components
+independently yields the same rates as one global solve (components share
+no links by construction); only float round-off in the last bits differs.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.sim.profile import PROFILE
+
 #: Relative tolerance when comparing rates.
 _REL_EPS = 1e-9
+
+
+def _water_fill(
+    M: np.ndarray,
+    Mf: np.ndarray,
+    caps: np.ndarray,
+    fcaps: np.ndarray,
+    rates: np.ndarray,
+    unfixed: np.ndarray,
+) -> None:
+    """Progressive filling over incidence ``M``; writes ``rates`` in place.
+
+    ``M`` is the L×F bool incidence matrix, ``Mf`` its float view (bool @
+    bool would be a logical OR, not a count). Only flows in ``unfixed``
+    participate; columns outside it must already hold their final rate 0
+    contribution (pathless flows never enter here).
+    """
+    nlinks, nflows = M.shape
+    remaining = caps.copy()
+
+    # Bound: every round fixes at least one flow (either the capped set, or
+    # the flows of a newly saturated bottleneck link), so nflows + nlinks
+    # rounds always suffice; the +2 covers the empty-set early exits.
+    for _ in range(nflows + nlinks + 2):
+        if not unfixed.any():
+            break
+        counts = Mf @ unfixed  # active flows per link
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(counts > 0, remaining / np.maximum(counts, 1), np.inf)
+        # Per-flow fair share: min share over the links of its path.
+        shares_per_flow = np.where(M, share[:, None], np.inf).min(axis=0)
+
+        capped = unfixed & (fcaps <= shares_per_flow * (1 + _REL_EPS))
+        if capped.any():
+            rates[capped] = fcaps[capped]
+            remaining = remaining - Mf @ (rates * capped)
+            remaining = np.maximum(remaining, 0.0)
+            unfixed &= ~capped
+            continue
+
+        live = shares_per_flow[unfixed]
+        m = live.min()
+        newly = unfixed & (shares_per_flow <= m * (1 + _REL_EPS))
+        rates[newly] = np.minimum(shares_per_flow[newly], fcaps[newly])
+        remaining = remaining - Mf @ (rates * newly)
+        remaining = np.maximum(remaining, 0.0)
+        unfixed &= ~newly
+    else:  # pragma: no cover - loop bound is a proof, not a code path
+        raise RuntimeError("progressive filling failed to converge")
 
 
 def max_min_rates(
@@ -65,65 +132,320 @@ def max_min_rates(
     if nflows == 0:
         return rates
 
-    # Incidence matrix M[l, f] = flow f crosses link l. Kept as bool for
-    # masking; Mf is the float view used in matmuls (bool @ bool would be a
-    # logical OR, not a count).
+    # Incidence matrix M[l, f] = flow f crosses link l.
     M = np.zeros((nlinks, nflows), dtype=bool)
     for f, path in enumerate(flow_links):
         for l in path:
             M[l, f] = True
-    Mf = M.astype(np.float64)
 
     pathless = ~M.any(axis=0)
     if np.any(pathless & ~np.isfinite(fcaps)):
         raise ValueError("a flow with an empty path must have a finite cap")
     rates[pathless] = fcaps[pathless]
 
-    unfixed = ~pathless
-    remaining = caps.copy()
-
-    # Bound: every round fixes at least one flow (either the capped set, or
-    # the flows of a newly saturated bottleneck link), so nflows + nlinks
-    # rounds always suffice; the +2 covers the empty-set early exits.
-    for _ in range(nflows + nlinks + 2):
-        if not unfixed.any():
-            break
-        counts = Mf @ unfixed  # active flows per link
-        with np.errstate(divide="ignore", invalid="ignore"):
-            share = np.where(counts > 0, remaining / np.maximum(counts, 1), np.inf)
-        # Per-flow fair share: min share over the links of its path.
-        shares_per_flow = np.where(M, share[:, None], np.inf).min(axis=0)
-
-        capped = unfixed & (fcaps <= shares_per_flow * (1 + _REL_EPS))
-        if capped.any():
-            rates[capped] = fcaps[capped]
-            remaining = remaining - Mf @ (rates * capped)
-            remaining = np.maximum(remaining, 0.0)
-            unfixed &= ~capped
-            continue
-
-        live = shares_per_flow[unfixed]
-        m = live.min()
-        newly = unfixed & (shares_per_flow <= m * (1 + _REL_EPS))
-        rates[newly] = np.minimum(shares_per_flow[newly], fcaps[newly])
-        remaining = remaining - Mf @ (rates * newly)
-        remaining = np.maximum(remaining, 0.0)
-        unfixed &= ~newly
-    else:  # pragma: no cover - loop bound is a proof, not a code path
-        raise RuntimeError("progressive filling failed to converge")
-
+    _water_fill(M, M.astype(np.float64), caps, fcaps, rates, ~pathless)
     return rates
 
 
 def link_utilization(
     link_caps: Sequence[float],
     flow_links: Sequence[Sequence[int]],
-    rates: np.ndarray,
+    rates: Sequence[float],
 ) -> np.ndarray:
-    """Per-link used fraction under allocation ``rates`` (diagnostics)."""
+    """Per-link used fraction under allocation ``rates`` (diagnostics).
+
+    The single implementation of this accumulation — the flow engine's
+    :meth:`~repro.net.flow.FlowEngine.link_utilization` delegates here.
+    """
     caps = np.asarray(link_caps, dtype=float)
     used = np.zeros_like(caps)
-    for f, path in enumerate(flow_links):
-        for l in path:
-            used[l] += rates[f]
+    lengths = np.fromiter(
+        (len(p) for p in flow_links), dtype=np.intp, count=len(flow_links)
+    )
+    total = int(lengths.sum())
+    if total:
+        idx = np.fromiter(
+            (l for path in flow_links for l in path), dtype=np.intp, count=total
+        )
+        np.add.at(used, idx, np.repeat(np.asarray(rates, dtype=float), lengths))
     return used / caps
+
+
+class FairshareState:
+    """Persistent incidence/cap arrays + component-partitioned re-solve.
+
+    Owns the L×C incidence matrix the solver runs over, where C is a
+    column *capacity* (doubled on demand). A flow occupies one column from
+    :meth:`add_flow` until :meth:`remove_flow`; freed columns go on a free
+    list and are reused LIFO, so the matrix is built once and patched per
+    event instead of rebuilt per solve.
+
+    Links are partitioned by a union-find into connected components of the
+    link-sharing graph (two links are connected when some active flow
+    crosses both). A membership or capacity change dirties only the
+    touched component; :meth:`solve` water-fills dirty components in
+    isolation and returns the columns whose rate changed. Flow departures
+    never split components eagerly (the partition only coarsens); after
+    :attr:`_REBUILD_REMOVALS` removals the partition is rebuilt from the
+    active flows, which re-tightens it at amortized O(path) per removal.
+    """
+
+    #: Removals tolerated before the (only-coarsening) partition is rebuilt.
+    _REBUILD_REMOVALS = 512
+
+    def __init__(self, link_caps: Sequence[float] = (), capacity: int = 64) -> None:
+        caps = np.array(link_caps, dtype=float)
+        if np.any(caps <= 0):
+            raise ValueError("link capacities must be positive")
+        self._caps = caps
+        self._nlinks = caps.shape[0]
+        cap = max(int(capacity), 1)
+        self._M = np.zeros((self._nlinks, cap), dtype=bool)
+        self._fcaps = np.zeros(cap)
+        self._rates = np.zeros(cap)
+        self._active = np.zeros(cap, dtype=bool)
+        self._paths: List[Optional[List[int]]] = [None] * cap
+        # Popped back-first so fresh columns are handed out in index order.
+        self._free: List[int] = list(range(cap - 1, -1, -1))
+        self.nactive = 0
+        # Union-find over link ids; a component's id is its root link.
+        self._parent: List[int] = list(range(self._nlinks))
+        self._size: List[int] = [1] * self._nlinks
+        #: root link id -> set of active columns in that component.
+        self._comp_cols: Dict[int, Set[int]] = {}
+        self._dirty: Set[int] = set()
+        #: columns rated outside solve() (pathless flows), reported once.
+        self._fresh: List[int] = []
+        self._removals = 0
+
+    # -- union-find -----------------------------------------------------------
+
+    def _find(self, l: int) -> int:
+        parent = self._parent
+        root = l
+        while parent[root] != root:
+            root = parent[root]
+        while parent[l] != root:  # path compression
+            parent[l], l = root, parent[l]
+        return root
+
+    def _union(self, a: int, b: int) -> int:
+        """Merge the components of roots ``a`` and ``b``; return the root."""
+        if a == b:
+            return a
+        # Union by size; smaller root id wins ties for determinism.
+        if (self._size[a], -a) < (self._size[b], -b):
+            a, b = b, a
+        self._parent[b] = a
+        self._size[a] += self._size[b]
+        cols = self._comp_cols.pop(b, None)
+        if cols:
+            self._comp_cols.setdefault(a, set()).update(cols)
+        if b in self._dirty:
+            self._dirty.discard(b)
+            self._dirty.add(a)
+        return a
+
+    # -- capacity maintenance -------------------------------------------------
+
+    def _grow_cols(self) -> None:
+        old = self._M.shape[1]
+        new = max(2 * old, 1)
+        PROFILE.count("fairshare.matrix_growths")
+        M = np.zeros((self._nlinks, new), dtype=bool)
+        M[:, :old] = self._M
+        self._M = M
+        for name in ("_fcaps", "_rates"):
+            arr = np.zeros(new)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        active = np.zeros(new, dtype=bool)
+        active[:old] = self._active
+        self._active = active
+        self._paths.extend([None] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _grow_links(self, nlinks: int) -> None:
+        M = np.zeros((nlinks, self._M.shape[1]), dtype=bool)
+        M[: self._nlinks] = self._M
+        self._M = M
+        self._parent.extend(range(self._nlinks, nlinks))
+        self._size.extend([1] * (nlinks - self._nlinks))
+        self._nlinks = nlinks
+
+    def set_link_caps(self, link_caps: Sequence[float]) -> None:
+        """Adopt the current capacity vector; dirty components that changed.
+
+        Called by the engine before every solve, so ``Link.set_rate``
+        changes are picked up at the next event with no further plumbing —
+        but only the components containing a changed link re-solve.
+        """
+        caps = np.asarray(link_caps, dtype=float)
+        if caps.shape[0] > self._nlinks:
+            self._grow_links(caps.shape[0])
+        elif caps.shape[0] < self._nlinks:
+            raise ValueError("links cannot be removed from a FairshareState")
+        if self._caps.shape[0] == caps.shape[0] and np.array_equal(caps, self._caps):
+            return
+        if np.any(caps <= 0):
+            raise ValueError("link capacities must be positive")
+        old = self._caps
+        for l in range(caps.shape[0]):
+            if l >= old.shape[0] or caps[l] != old[l]:
+                root = self._find(l)
+                if self._comp_cols.get(root):
+                    self._dirty.add(root)
+        self._caps = caps.copy()
+
+    # -- flow membership --------------------------------------------------------
+
+    def add_flow(self, path: Sequence[int], fcap: float) -> int:
+        """Insert a flow crossing link ids ``path``; returns its column."""
+        if fcap <= 0:
+            raise ValueError("flow caps must be positive")
+        if not self._free:
+            self._grow_cols()
+        col = self._free.pop()
+        self._fcaps[col] = fcap
+        self._rates[col] = 0.0
+        self._active[col] = True
+        self.nactive += 1
+        path = list(path)
+        self._paths[col] = path
+        if path:
+            # The network may have grown links since the last solve; row
+            # growth happens here, capacities arrive via set_link_caps.
+            need = max(path) + 1
+            if need > self._nlinks:
+                self._grow_links(need)
+            self._M[path, col] = True
+            root = self._find(path[0])
+            for l in path[1:]:
+                root = self._union(root, self._find(l))
+            self._comp_cols.setdefault(root, set()).add(col)
+            self._dirty.add(root)
+        else:
+            if not np.isfinite(fcap):
+                raise ValueError("a flow with an empty path must have a finite cap")
+            # Pathless flows are their own trivial component: the rate is
+            # the cap, now and forever — rated at the next solve(), no
+            # water-filling needed.
+            self._fresh.append(col)
+        return col
+
+    def remove_flow(self, col: int) -> None:
+        """Release ``col``; its component re-solves on the next ``solve()``."""
+        if not self._active[col]:
+            raise ValueError(f"column {col} is not active")
+        path = self._paths[col]
+        self._active[col] = False
+        self._paths[col] = None
+        self._rates[col] = 0.0
+        self._fcaps[col] = 0.0
+        self.nactive -= 1
+        if path:
+            self._M[path, col] = False
+            root = self._find(path[0])
+            cols = self._comp_cols.get(root)
+            if cols is not None:
+                cols.discard(col)
+                if cols:
+                    self._dirty.add(root)
+                else:
+                    del self._comp_cols[root]
+                    self._dirty.discard(root)
+            self._removals += 1
+        self._free.append(col)
+
+    def rate_of(self, col: int) -> float:
+        return float(self._rates[col])
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Current per-column rates (authoritative; do not mutate)."""
+        return self._rates
+
+    @property
+    def capacity(self) -> int:
+        """Current column capacity (callers keeping parallel arrays)."""
+        return self._M.shape[1]
+
+    # -- solving ---------------------------------------------------------------
+
+    def _rebuild_partition(self) -> None:
+        """Recompute components from the active flows (undoes coarsening)."""
+        PROFILE.count("fairshare.partition_rebuilds")
+        dirty_cols = [c for r in self._dirty for c in self._comp_cols.get(r, ())]
+        self._parent = list(range(self._nlinks))
+        self._size = [1] * self._nlinks
+        self._comp_cols = {}
+        self._dirty = set()
+        for col in np.nonzero(self._active)[0]:
+            path = self._paths[int(col)]
+            if not path:
+                continue
+            root = self._find(path[0])
+            for l in path[1:]:
+                root = self._union(root, self._find(l))
+            self._comp_cols.setdefault(root, set()).add(int(col))
+        for col in dirty_cols:
+            path = self._paths[col]
+            if path:
+                self._dirty.add(self._find(path[0]))
+        self._removals = 0
+
+    def solve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Re-solve dirty components.
+
+        Returns ``(cols, old_rates)``: the columns whose rate changed and
+        the rates they had before this solve (the new rates are readable
+        via :attr:`rates` / :meth:`rate_of`). Untouched components keep
+        their rates and do not appear.
+        """
+        moved_cols: List[np.ndarray] = []
+        moved_old: List[np.ndarray] = []
+        if self._fresh:
+            fresh = np.asarray(self._fresh, dtype=np.intp)
+            self._fresh = []
+            moved_cols.append(fresh)
+            moved_old.append(self._rates[fresh].copy())
+            self._rates[fresh] = self._fcaps[fresh]
+        if self._removals >= self._REBUILD_REMOVALS:
+            self._rebuild_partition()
+        for root in sorted(self._dirty):
+            cols_set = self._comp_cols.get(root)
+            if not cols_set:
+                continue
+            cols = np.fromiter(sorted(cols_set), dtype=np.intp, count=len(cols_set))
+            sub = self._M[:, cols]
+            links = np.nonzero(sub.any(axis=1))[0]
+            subM = sub[links]
+            fcaps = self._fcaps[cols]
+            rates = np.zeros(cols.shape[0])
+            PROFILE.count("fairshare.solves")
+            PROFILE.count("fairshare.solved_rows", cols.shape[0])
+            _water_fill(
+                subM,
+                subM.astype(np.float64),
+                self._caps[links],
+                fcaps,
+                rates,
+                np.ones(cols.shape[0], dtype=bool),
+            )
+            diff = rates != self._rates[cols]
+            if diff.any():
+                moved = cols[diff]
+                moved_cols.append(moved)
+                moved_old.append(self._rates[moved].copy())
+                self._rates[moved] = rates[diff]
+        self._dirty.clear()
+        if not moved_cols:
+            empty = np.empty(0)
+            return empty.astype(np.intp), empty
+        return np.concatenate(moved_cols), np.concatenate(moved_old)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def component_sizes(self) -> List[int]:
+        """Active-flow count per link-sharing component (for tests/benches)."""
+        return sorted(len(cols) for cols in self._comp_cols.values() if cols)

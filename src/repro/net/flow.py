@@ -2,15 +2,27 @@
 
 A :class:`Flow` is ``nbytes`` moving along a routed path. The
 :class:`FlowEngine` keeps the set of active flows; whenever it changes, it
-re-solves max-min fair rates (:func:`repro.net.fairshare.max_min_rates`)
-with each flow capped by its TCP model, advances everyone's residual bytes,
-and schedules the next completion. Changes within one simulation instant
-coalesce into a single re-solve.
+re-solves max-min fair rates with each flow capped by its TCP model,
+advances residual bytes, and schedules the next completion. Changes within
+one simulation instant coalesce into a single re-solve.
+
+The re-solve is *incremental* end-to-end (see
+:class:`repro.net.fairshare.FairshareState`): flows live in an
+insertion-ordered registry (insertion order == seq order, so nothing is
+ever re-sorted), each flow owns a persistent column in the solver's
+incidence state, and an arrival/departure re-solves only the connected
+component of the link-sharing graph it touches. Per-flow kinematics
+(residual bytes, predicted finish time) are column-aligned numpy arrays:
+residuals advance lazily and vectorized for exactly the columns whose rate
+changed, completions are detected by one vectorized compare against the
+predicted-finish array, and the next-completion timer is its minimum —
+no per-flow Python loop survives on the per-event path.
 
 Tags: each transfer may carry string tags ("wan", "sdsc->ncsa", ...); the
 engine maintains an exact piecewise-constant aggregate-rate series per tag —
 this is what the figure harnesses plot (e.g. the three SCinet link traces of
-Fig 8).
+Fig 8). Each tag keeps the set of columns carrying it, so a snapshot is one
+vectorized gather-sum per tag.
 """
 
 from __future__ import annotations
@@ -18,19 +30,36 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Optional, Sequence, Set
 
-from repro.net.fairshare import max_min_rates
+import numpy as np
+
+from repro.net import fairshare
+from repro.net.fairshare import FairshareState
 from repro.net.tcp import TcpModel
 from repro.net.topology import Network
 from repro.sim.kernel import Event, Simulation
+from repro.sim.profile import PROFILE
 from repro.util.timeseries import TimeSeries
 from repro.util.units import GB
 
-#: Residual-bytes slack treated as "finished" (guards float drift).
+#: A flow within this many seconds of its predicted drain counts as done
+#: (guards float drift in time arithmetic).
 _DONE_EPS_SECONDS = 1e-9
+
+#: Residual bytes below this *fraction of the flow's size* count as fully
+#: delivered (guards float drift in byte arithmetic). Relative on purpose:
+#: the old absolute 1e-6-byte floor silently finished sub-microbyte flows
+#: before they ever carried a byte.
+_DONE_EPS_FRACTION = 1e-12
 
 
 class Flow:
-    """One in-flight transfer."""
+    """One in-flight transfer.
+
+    While in flight, the engine tracks the flow's rate and residual bytes
+    in column-aligned arrays (``flow.col`` indexes them); the ``rate`` and
+    ``remaining`` attributes here are materialized when the flow finishes.
+    Use :meth:`FlowEngine.flow_rate` for a mid-flight reading.
+    """
 
     __slots__ = (
         "src",
@@ -43,9 +72,9 @@ class Flow:
         "one_way_delay",
         "tags",
         "done",
-        "last_update",
         "start_time",
         "seq",
+        "col",
     )
 
     def __init__(
@@ -70,9 +99,9 @@ class Flow:
         self.one_way_delay = one_way_delay
         self.tags = tags
         self.done = done
-        self.last_update = now
         self.start_time = now
         self.seq = -1  # assigned by the engine for deterministic ordering
+        self.col = -1  # column in the engine's FairshareState
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -98,10 +127,25 @@ class FlowEngine:
         self.network = network
         self.local_rate = local_rate
         self.default_tcp = default_tcp or TcpModel()
-        self.flows: Set[Flow] = set()
+        #: Insertion-ordered registry (dict-as-ordered-set): iteration order
+        #: is seq order, so nothing ever needs re-sorting.
+        self.flows: Dict[Flow, None] = {}
         self.bytes_moved = 0.0
         self.completed_flows = 0
+        self._state = FairshareState(network.link_capacities())
+        self._col_flow: Dict[int, Flow] = {}
+        # Column-aligned kinematics, grown in lockstep with the state's
+        # column capacity. A column's residual is exact as of _last_t[col];
+        # the rate has been constant since, so the live residual at t is
+        # _rem[col] - rate * (t - _last_t[col]) and the predicted finish
+        # time _finish[col] is exact (inf = inactive or not yet rated).
+        cap = self._state.capacity
+        self._rem = np.zeros(cap)
+        self._last_t = np.zeros(cap)
+        self._fsize = np.zeros(cap)
+        self._finish = np.full(cap, np.inf)
         self._tag_series: Dict[str, TimeSeries] = {}
+        self._tag_cols: Dict[str, Set[int]] = {}
         self._recompute_pending = False
         self._timer_token = 0
         self._next_seq = 0
@@ -135,6 +179,7 @@ class FlowEngine:
         if not links:
             flow_cap = min(flow_cap, self.local_rate)
         done = self.sim.event(name=f"xfer:{src}->{dst}")
+        now = self.sim.now
         flow = Flow(
             src,
             dst,
@@ -144,14 +189,26 @@ class FlowEngine:
             delay,
             tuple(tags),
             done,
-            self.sim.now,
+            now,
         )
         flow.seq = self._next_seq
         self._next_seq += 1
         if nbytes == 0:
             self.sim.schedule_callback(delay, lambda: done.succeed(flow))
             return done
-        self.flows.add(flow)
+        self.flows[flow] = None
+        col = flow.col = self._state.add_flow(flow.path_ids, flow_cap)
+        self._col_flow[col] = flow
+        cap_now = self._state.capacity
+        if cap_now > self._rem.shape[0]:
+            self._grow_cols(cap_now)
+        self._rem[col] = nbytes
+        self._last_t[col] = now
+        self._fsize[col] = nbytes
+        self._finish[col] = np.inf
+        for tag in flow.tags:
+            self.tag_rate_series(tag)
+            self._tag_cols.setdefault(tag, set()).add(col)
         self._mark_dirty()
         return done
 
@@ -167,12 +224,19 @@ class FlowEngine:
     def active_count(self) -> int:
         return len(self.flows)
 
+    def flow_rate(self, flow: Flow) -> float:
+        """Current allocated rate of an in-flight flow (0 if finished)."""
+        if flow not in self.flows:
+            return 0.0
+        return self._state.rate_of(flow.col)
+
     def poke(self) -> None:
         """Force a rate recompute at the current instant.
 
         Use after mutating link capacities (`Link.set_rate`) so active
         flows see the change immediately instead of at their next natural
-        arrival/departure.
+        arrival/departure. Only components containing a changed link are
+        actually re-solved.
         """
         self._mark_dirty()
 
@@ -180,19 +244,32 @@ class FlowEngine:
         """Instantaneous per-link used fraction (diagnostics).
 
         Keyed by link name; only links carrying at least one active flow
-        appear.
+        appear. Delegates to :func:`repro.net.fairshare.link_utilization`.
         """
-        used: Dict[int, float] = {}
-        for flow in self.flows:
-            for link_id in flow.path_ids:
-                used[link_id] = used.get(link_id, 0.0) + flow.rate
-        out = {}
-        for link_id, rate in used.items():
-            link = self.network.links[link_id]
-            out[link.name] = rate / link.usable_rate
-        return out
+        if not self.flows:
+            return {}
+        flows = list(self.flows)
+        util = fairshare.link_utilization(
+            self.network.link_capacities(),
+            [f.path_ids for f in flows],
+            [self._state.rate_of(f.col) for f in flows],
+        )
+        carrying = sorted({l for f in flows for l in f.path_ids})
+        return {self.network.links[l].name: float(util[l]) for l in carrying}
 
     # -- engine internals -------------------------------------------------------
+
+    def _grow_cols(self, capacity: int) -> None:
+        old = self._rem.shape[0]
+        for name, fill in (
+            ("_rem", 0.0),
+            ("_last_t", 0.0),
+            ("_fsize", 0.0),
+            ("_finish", np.inf),
+        ):
+            arr = np.full(capacity, fill)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
 
     def _mark_dirty(self) -> None:
         if self._recompute_pending:
@@ -200,75 +277,86 @@ class FlowEngine:
         self._recompute_pending = True
         self.sim.schedule_callback(0.0, self._recompute, name="flow-recompute")
 
-    def _advance_residuals(self, now: float) -> None:
-        for f in self.flows:
-            if now > f.last_update:
-                f.remaining = max(0.0, f.remaining - f.rate * (now - f.last_update))
-            f.last_update = now
-
     def _recompute(self) -> None:
         self._recompute_pending = False
         now = self.sim.now
-        self._advance_residuals(now)
+        if PROFILE.enabled:
+            PROFILE.count("flowengine.recomputes")
+            PROFILE.count("flowengine.active_rows", len(self.flows))
         self._finish_drained(now)
         if self.flows:
-            order = sorted(self.flows, key=lambda f: f.seq)
-            caps = self.network.link_capacities()
-            rates = max_min_rates(
-                caps,
-                [f.path_ids for f in order],
-                [f.cap for f in order],
-            )
-            for f, r in zip(order, rates):
-                f.rate = float(r)
+            self._state.set_link_caps(self.network.link_capacities())
+            cols, old_rates = self._state.solve()
+            if cols.size:
+                if PROFILE.enabled:
+                    PROFILE.count("flowengine.rate_changes", cols.size)
+                # Materialize residuals for exactly the flows whose rate
+                # changed (their old rate held from _last_t until now)...
+                rem = np.maximum(
+                    0.0, self._rem[cols] - old_rates * (now - self._last_t[cols])
+                )
+                self._rem[cols] = rem
+                self._last_t[cols] = now
+                # ... and re-predict their finish times at the new rates.
+                new_rates = self._state.rates[cols]
+                self._finish[cols] = np.where(
+                    rem <= self._fsize[cols] * _DONE_EPS_FRACTION,
+                    now,
+                    now + rem / new_rates,
+                )
         self._snapshot_tags(now)
         self._schedule_next_completion(now)
 
     def _finish_drained(self, now: float) -> None:
-        drained = [f for f in self.flows if f.remaining <= f.rate * _DONE_EPS_SECONDS or f.remaining <= 1e-6]
+        """Complete every flow whose predicted finish time has arrived."""
+        due = np.nonzero(self._finish <= now + _DONE_EPS_SECONDS)[0]
+        if not due.size:
+            return
+        drained = [self._col_flow[int(c)] for c in due]
+        drained.sort(key=lambda f: f.seq)
         for f in drained:
-            self.flows.remove(f)
-            f.rate = 0.0
-            f.remaining = 0.0
-            self.bytes_moved += f.size
-            self.completed_flows += 1
-            if f.one_way_delay > 0:
-                self.sim.schedule_callback(
-                    f.one_way_delay, lambda f=f: f.done.succeed(f), name="flow-arrive"
-                )
-            else:
-                f.done.succeed(f)
+            self._finish_flow(f)
+
+    def _finish_flow(self, f: Flow) -> None:
+        col = f.col
+        del self.flows[f]
+        self._state.remove_flow(col)
+        del self._col_flow[col]
+        self._finish[col] = np.inf
+        for tag in f.tags:
+            self._tag_cols[tag].discard(col)
+        f.rate = 0.0
+        f.remaining = 0.0
+        self.bytes_moved += f.size
+        self.completed_flows += 1
+        if f.one_way_delay > 0:
+            self.sim.schedule_callback(
+                f.one_way_delay, lambda f=f: f.done.succeed(f), name="flow-arrive"
+            )
+        else:
+            f.done.succeed(f)
 
     def _snapshot_tags(self, now: float) -> None:
-        if not self._tag_series:
-            # Lazily create series only for tags in use.
-            for f in self.flows:
-                for tag in f.tags:
-                    self.tag_rate_series(tag)
-        if not self._tag_series:
-            return
-        totals = {tag: 0.0 for tag in self._tag_series}
-        for f in self.flows:
-            for tag in f.tags:
-                if tag not in totals:
-                    totals[tag] = 0.0
-                totals[tag] += f.rate
-        for tag, total in totals.items():
-            self.tag_rate_series(tag).add(now, total)
+        rates = self._state.rates
+        for tag, series in self._tag_series.items():
+            cols = self._tag_cols.get(tag)
+            if cols:
+                idx = np.fromiter(cols, dtype=np.intp, count=len(cols))
+                total = float(rates[idx].sum())
+            else:
+                total = 0.0
+            series.add(now, total)
 
     def _schedule_next_completion(self, now: float) -> None:
         self._timer_token += 1
         if not self.flows:
             return
-        token = self._timer_token
-        horizon = math.inf
-        for f in self.flows:
-            if f.rate > 0:
-                horizon = min(horizon, f.remaining / f.rate)
+        horizon = float(self._finish.min()) - now
         if not math.isfinite(horizon):
             raise RuntimeError(
                 "active flows with zero rate — network has no capacity for them"
             )
+        token = self._timer_token
         self.sim.schedule_callback(
             max(horizon, 0.0), lambda: self._on_timer(token), name="flow-finish"
         )

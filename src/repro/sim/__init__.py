@@ -33,6 +33,7 @@ from repro.sim.kernel import (
 from repro.sim.resources import Resource, PriorityResource, Store, Container
 from repro.sim.rand import RngRegistry
 from repro.sim.monitor import Monitor, Gauge
+from repro.sim.profile import Profile, PROFILE
 
 __all__ = [
     "Simulation",
@@ -50,4 +51,6 @@ __all__ = [
     "RngRegistry",
     "Monitor",
     "Gauge",
+    "Profile",
+    "PROFILE",
 ]

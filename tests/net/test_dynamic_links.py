@@ -61,3 +61,76 @@ class TestSetRate:
         engine.poke()
         sim.run(until=evt)
         assert sim.now == pytest.approx(1.0)
+
+    def test_poke_resolves_at_same_instant(self):
+        # The re-solve after set_rate + poke happens at the poke's instant,
+        # not at the flow's next natural event: mid-flight the flow's
+        # allocated rate already reflects the new capacity.
+        net, link = line(MB(100))
+        sim = Simulation()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        evt = engine.transfer("a", "b", MB(100))
+        seen = {}
+
+        def observer(sim):
+            yield sim.timeout(0.5)
+            (flow,) = list(engine.flows)
+            seen["before"] = engine.flow_rate(flow)
+            link.set_rate(MB(25))
+            engine.poke()
+            # The coalesced recompute is scheduled ahead of this resume at
+            # the same instant, so the new rate is visible immediately.
+            yield sim.timeout(0.0)
+            seen["at_poke"] = (sim.now, engine.flow_rate(flow))
+
+        sim.process(observer(sim))
+        sim.run(until=evt)
+        assert seen["before"] == pytest.approx(MB(100))
+        assert seen["at_poke"][0] == pytest.approx(0.5)
+        assert seen["at_poke"][1] == pytest.approx(MB(25))
+        assert sim.now == pytest.approx(2.5)
+
+    def test_tag_series_records_the_rate_step(self):
+        # The per-tag rate trace must show the brownout as a step at the
+        # poke instant: 100 MB/s from t=0, 25 MB/s from t=0.5, 0 at drain.
+        net, link = line(MB(100))
+        sim = Simulation()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        evt = engine.transfer("a", "b", MB(100), tags=("wan",))
+
+        def brownout(sim):
+            yield sim.timeout(0.5)
+            link.set_rate(MB(25))
+            engine.poke()
+
+        sim.process(brownout(sim))
+        sim.run(until=evt)
+        series = engine.tag_rate_series("wan")
+        samples = list(series)
+        assert samples[0] == (pytest.approx(0.0), pytest.approx(MB(100)))
+        assert (pytest.approx(0.5), pytest.approx(MB(25))) in samples
+        assert samples[-1] == (pytest.approx(2.5), 0.0)
+
+    def test_brownout_resolves_only_affected_component(self):
+        # Two flows on disjoint links: a brownout on one link must not
+        # change (or re-solve) the other flow's component.
+        net = Network()
+        for n in ("a", "b", "c", "d"):
+            net.add_node(n)
+        link_ab, _ = net.add_link("a", "b", MB(100), efficiency=1.0)
+        net.add_link("c", "d", MB(100), efficiency=1.0)
+        sim = Simulation()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        e1 = engine.transfer("a", "b", MB(100))
+        e2 = engine.transfer("c", "d", MB(100))
+
+        def brownout(sim):
+            yield sim.timeout(0.5)
+            link_ab.set_rate(MB(50))
+            engine.poke()
+
+        sim.process(brownout(sim))
+        sim.run(until=e2)
+        assert sim.now == pytest.approx(1.0)  # c->d unaffected
+        sim.run(until=e1)
+        assert sim.now == pytest.approx(1.5)  # 50 MB left at 50 MB/s

@@ -43,6 +43,38 @@ class TestSingleFlow:
         sim.run(until=evt)
         assert sim.now == pytest.approx(0.020)
 
+    def test_zero_byte_multi_hop_sums_propagation_delays(self):
+        net = Network()
+        for n in ("a", "sw", "b"):
+            net.add_node(n)
+        net.add_link("a", "sw", MB(100), delay=0.010, efficiency=1.0)
+        net.add_link("sw", "b", MB(100), delay=0.025, efficiency=1.0)
+        sim, eng = make_engine(net)
+        evt = eng.transfer("a", "b", 0)
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(0.035)
+        assert eng.active_count == 0
+        assert eng.bytes_moved == 0
+
+    def test_zero_byte_transfer_does_not_disturb_active_flows(self):
+        # A zero-byte "transfer" is pure signalling: it never registers a
+        # flow, so the sharing (and finish time) of real flows is unchanged.
+        net = line(rate=MB(100), delay=0.020)
+        sim, eng = make_engine(net)
+        e1 = eng.transfer("a", "b", MB(100))
+
+        def ping(sim):
+            yield sim.timeout(0.25)
+            assert eng.active_count == 1
+            evt = eng.transfer("a", "b", 0)
+            yield evt
+            assert sim.now == pytest.approx(0.25 + 0.020)
+            assert eng.active_count == 1  # still just the real flow
+
+        sim.process(ping(sim))
+        sim.run(until=e1)
+        assert sim.now == pytest.approx(1.0 + 0.020)
+
     def test_link_efficiency_respected(self):
         net = line(rate=MB(100), efficiency=0.5)
         sim, eng = make_engine(net)
