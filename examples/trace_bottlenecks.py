@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Watch the bottleneck move: E8's latency sweep under the flight recorder.
+
+Runs the paper's §2 latency ablation (E8) at two RTTs — a LAN-like 2 ms
+and the published 80 ms San Diego → Baltimore path — with 1 and 64
+parallel streams, then prints each cell's flow-attribution timeline side
+by side. The point the paper argues qualitatively falls out as a measured
+tag: at 80 ms a single 2 MiB-window stream is bound by `window/rtt`, while
+64 parallel streams shift every flow's bound to the shared link itself.
+
+Run:  python examples/trace_bottlenecks.py
+"""
+
+from repro.experiments.e8_latency import run_e8
+from repro.sim.trace import TRACE
+from repro.util.units import GB
+
+RTTS = (0.002, 0.080)
+STREAMS = (1, 64)
+
+TRACE.enable()
+result = run_e8(rtts=RTTS, stream_counts=STREAMS, nbytes=GB(1))
+TRACE.disable()
+
+# Group flow records by the cell tag E8 stamps on every transfer.
+cells = {}
+for rec in TRACE.flows:
+    for tag in rec.tags:
+        cells.setdefault(tag, []).append(rec)
+
+
+def timeline_str(rec):
+    return "; ".join(
+        f"{t0:6.2f}-{t1:6.2f}s @ {rate * 8 / 1e9:5.2f} Gb/s  {bound}"
+        for t0, t1, rate, bound in rec.timeline()
+    )
+
+
+print(result.table.render())
+print()
+print("flow attribution timelines (first flow of each cell)")
+print("=" * 72)
+for streams in STREAMS:
+    columns = []
+    for rtt in RTTS:
+        cell = f"rtt{int(rtt * 1e3)}ms-s{streams}"
+        recs = cells[cell]
+        bounds = sorted({b for r in recs for _, _, _, b in r.timeline()})
+        columns.append((rtt, recs, bounds))
+    print(f"\n{streams} stream(s):")
+    for rtt, recs, bounds in columns:
+        print(f"  RTT {rtt * 1e3:3.0f} ms  ({len(recs)} flows, bounds: {', '.join(bounds)})")
+        print(f"      {timeline_str(recs[0])}")
+
+print()
+print("flow-seconds per bound (whole sweep)")
+print("=" * 72)
+for bound, entry in sorted(
+    TRACE.bound_summary().items(), key=lambda kv: -kv[1]["sim_seconds"]
+):
+    print(f"  {bound:<20} {entry['flows']:>5} flows  {entry['sim_seconds']:>10.2f} flow-s")
+
+TRACE.reset()

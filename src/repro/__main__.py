@@ -3,9 +3,13 @@
 Subcommands::
 
     python -m repro report [--quick] [--only E1 A3] [--out FILE]
+                           [--profile] [--profile-json FILE] [--trace-dir DIR]
+    python -m repro trace E8 --out trace.json [--quick]
     python -m repro info
 
 ``report`` regenerates the paper's figures (see EXPERIMENTS.md);
+``trace`` runs one experiment under the flight recorder and writes a
+Chrome trace-event JSON with per-flow bottleneck attribution;
 ``info`` prints the system inventory and experiment index.
 """
 
@@ -46,6 +50,16 @@ def main(argv=None) -> int:
     report.add_argument("--only", nargs="*", metavar="ID")
     report.add_argument("--out", metavar="FILE")
     report.add_argument("--profile", action="store_true")
+    report.add_argument("--profile-json", metavar="FILE")
+    report.add_argument("--trace-dir", metavar="DIR")
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment under the flight recorder; write a "
+             "Chrome trace (Perfetto-loadable) with bottleneck attribution",
+    )
+    trace.add_argument("exp_id", metavar="EXP_ID", help="experiment id, e.g. E8")
+    trace.add_argument("--out", metavar="FILE", default="trace.json")
+    trace.add_argument("--quick", action="store_true")
     args = parser.parse_args(argv)
 
     if args.command == "info" or args.command is None:
@@ -63,7 +77,15 @@ def main(argv=None) -> int:
             forwarded += ["--out", args.out]
         if args.profile:
             forwarded.append("--profile")
+        if args.profile_json:
+            forwarded += ["--profile-json", args.profile_json]
+        if args.trace_dir:
+            forwarded += ["--trace-dir", args.trace_dir]
         return report_main(forwarded)
+    if args.command == "trace":
+        from repro.experiments.report import run_trace
+
+        return run_trace(args.exp_id, args.out, quick=args.quick)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

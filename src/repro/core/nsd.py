@@ -29,6 +29,7 @@ from repro.net.flow import FlowEngine
 from repro.net.message import MessageService
 from repro.net.tcp import TcpModel
 from repro.sim.kernel import Event, Simulation
+from repro.sim.trace import TRACE
 from repro.storage.array import Lun
 from repro.storage.san import Hba
 
@@ -132,6 +133,10 @@ class NsdServer:
 
     def _disk_io(self, sim: Simulation, nsd: Nsd, kind: str, nbytes: float,
                  sequential: bool) -> Generator[Event, None, None]:
+        sid = TRACE.begin(
+            sim, f"san.{kind}", cat="storage.san", lane=f"nsd:{self.name}",
+            nsd=nsd.name, bytes=nbytes,
+        ) if TRACE.enabled else 0
         if self.hba is not None:
             yield self.hba.transfer(nbytes)
         if nsd.lun is not None:
@@ -139,6 +144,8 @@ class NsdServer:
         else:
             yield sim.timeout(0.0)
         self.bytes_served += nbytes
+        if sid:
+            TRACE.end(sim, sid)
 
 
 #: Resolver hooks: (client_node, server_node) → value.
@@ -251,12 +258,25 @@ class NsdService:
         else:
             length = len(data)
             payload = data
+        # Tracing decision is taken once per RPC so begin/end always pair.
+        tr = TRACE if TRACE.enabled else None
+        lane = f"nsd:{server.name}"
+        rpc = tr.begin(
+            self.sim, "nsd.write_block", cat="nsd.rpc", lane=lane,
+            client=client_node, server=server.node, nsd=nsd_id, bytes=length,
+        ) if tr else 0
         # 0. software crypto (per-node CPU stages) when the cluster pair
         #    runs an encrypting cipherList
         if self.crypto_resolver is not None:
             for pipe in self.crypto_resolver(client_node, server.node):
+                sid = tr.begin(self.sim, "crypto", cat="nsd.crypto",
+                               lane=lane) if tr else 0
                 yield pipe.transfer(length)
+                if sid:
+                    tr.end(self.sim, sid)
         # 1. data flow client → server
+        sid = tr.begin(self.sim, "net.data", cat="nsd.net", lane=lane,
+                       src=client_node, dst=server.node) if tr else 0
         yield self.engine.transfer(
             client_node,
             server.node,
@@ -264,8 +284,14 @@ class NsdService:
             tags=tuple(tags) + server.tags,
             **self._pair_kwargs(client_node, server.node),
         )
+        if sid:
+            tr.end(self.sim, sid)
         # 2. media write
+        sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
+                       lane=lane) if tr else 0
         yield server.disk_io(self.sim, nsd, "write", length, sequential)
+        if sid:
+            tr.end(self.sim, sid)
         # logical effect
         if payload is not None:
             nsd.store(phys, offset, payload)
@@ -274,7 +300,12 @@ class NsdService:
             nsd.writes += 1  # size-only mode: count, no contents to keep
         self.blocks_written += 1
         # 3. ack back to client
+        sid = tr.begin(self.sim, "net.ack", cat="nsd.net", lane=lane) if tr else 0
         yield self.messages.send(server.node, client_node, nbytes=self.CONTROL_BYTES)
+        if sid:
+            tr.end(self.sim, sid)
+        if rpc:
+            tr.end(self.sim, rpc)
         return length
 
     def read_block(
@@ -296,17 +327,36 @@ class NsdService:
     def _read(self, client_node, nsd_id, phys, offset, length, sequential, tags):
         nsd = self.nsds[nsd_id]
         server = self.server_of(nsd_id)
+        tr = TRACE if TRACE.enabled else None
+        lane = f"nsd:{server.name}"
+        rpc = tr.begin(
+            self.sim, "nsd.read_block", cat="nsd.rpc", lane=lane,
+            client=client_node, server=server.node, nsd=nsd_id, bytes=length,
+        ) if tr else 0
         # 1. request message client → server
+        sid = tr.begin(self.sim, "net.request", cat="nsd.net", lane=lane) if tr else 0
         yield self.messages.send(client_node, server.node, nbytes=self.CONTROL_BYTES)
+        if sid:
+            tr.end(self.sim, sid)
         # 2. media read
+        sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
+                       lane=lane) if tr else 0
         yield server.disk_io(self.sim, nsd, "read", length, sequential)
+        if sid:
+            tr.end(self.sim, sid)
         data = nsd.fetch(phys, offset, length)
         # 2b. software crypto stages (encrypt at the server, decrypt at the
         #     client — each node's CPU is a shared pipe)
         if self.crypto_resolver is not None:
             for pipe in self.crypto_resolver(server.node, client_node):
+                sid = tr.begin(self.sim, "crypto", cat="nsd.crypto",
+                               lane=lane) if tr else 0
                 yield pipe.transfer(length)
+                if sid:
+                    tr.end(self.sim, sid)
         # 3. data flow server → client
+        sid = tr.begin(self.sim, "net.data", cat="nsd.net", lane=lane,
+                       src=server.node, dst=client_node) if tr else 0
         yield self.engine.transfer(
             server.node,
             client_node,
@@ -314,5 +364,9 @@ class NsdService:
             tags=tuple(tags) + server.tags,
             **self._pair_kwargs(server.node, client_node),
         )
+        if sid:
+            tr.end(self.sim, sid)
+        if rpc:
+            tr.end(self.sim, rpc)
         self.blocks_read += 1
         return data

@@ -39,7 +39,14 @@ def measure(
     net.add_link("a", "b", link_rate, delay=rtt / 2, efficiency=0.94)
     engine = FlowEngine(sim, net, default_tcp=TcpModel(window=window, mss=8960))
     per_stream = nbytes / streams
-    events = [engine.transfer("a", "b", per_stream) for _ in range(streams)]
+    # The cell tag makes each flow's trace record self-describing: a
+    # `python -m repro trace E8` run shows window/RTT-bound singles and
+    # link-bound 64-stream cells side by side (the paper's §2 mechanism).
+    cell = f"rtt{int(rtt * 1e3)}ms-s{streams}"
+    events = [
+        engine.transfer("a", "b", per_stream, tags=(cell,))
+        for _ in range(streams)
+    ]
     sim.run(until=sim.all_of(events))
     return nbytes / sim.now
 

@@ -20,6 +20,9 @@ class ExperimentResult:
     series: Dict[str, TimeSeries] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    #: ``TRACE.metrics_snapshot()`` when the run was traced (span counts,
+    #: bottleneck attribution, per-link saturation); ``None`` otherwise.
+    trace_summary: Optional[dict] = None
 
     def metric(self, name: str) -> float:
         try:
@@ -61,6 +64,20 @@ def format_result(result: ExperimentResult) -> str:
         lines.append(result.table.render())
     for name, series in result.series.items():
         lines.append(f"  {name}: {sparkline(series)}")
+    if result.trace_summary:
+        bounds = result.trace_summary.get("bounds") or {}
+        if bounds:
+            top = sorted(
+                bounds.items(), key=lambda kv: -kv[1]["sim_seconds"]
+            )[:4]
+            lines.append(
+                "bottlenecks: "
+                + ", ".join(
+                    f"{bound} ({entry['flows']} flows, "
+                    f"{entry['sim_seconds']:.3g} flow-s)"
+                    for bound, entry in top
+                )
+            )
     if result.notes:
         lines.append(f"note: {result.notes}")
     return "\n".join(lines)

@@ -7,11 +7,21 @@ Usage::
     python -m repro.experiments.report --only E1 E8 A3
     python -m repro.experiments.report --out report.txt
     python -m repro.experiments.report --quick --profile   # + solver counters
+    python -m repro.experiments.report --quick --profile-json prof.json
+    python -m repro.experiments.report --quick --trace-dir traces/
+
+``--profile-json`` writes ``PROFILE.snapshot()`` per experiment as JSON
+(machine-readable counterpart of ``--profile``'s text table).
+``--trace-dir`` runs every experiment under the flight recorder, writes
+``<id>.trace.json`` Chrome traces into the directory, and embeds each
+run's bottleneck-attribution summary in its report section.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Callable, Dict, Tuple
@@ -112,6 +122,13 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="collect and print simulator self-profiling "
                              "(kernel events, solver work) per experiment")
+    parser.add_argument("--profile-json", metavar="FILE",
+                        help="write PROFILE.snapshot() per experiment as "
+                             "JSON to FILE (implies profiling)")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="run under the flight recorder; write "
+                             "<id>.trace.json Chrome traces into DIR and "
+                             "report per-run bottleneck attribution")
     args = parser.parse_args(argv)
 
     registry = _registry(args.quick)
@@ -121,20 +138,37 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiment ids {unknown}; known: {list(registry)}")
 
     from repro.sim.profile import PROFILE
+    from repro.sim.trace import TRACE
+
+    profiling = args.profile or args.profile_json is not None
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
 
     sections = []
+    profile_snapshots: Dict[str, dict] = {}
     for exp_id in wanted:
         label, thunk = registry[exp_id]
         t0 = time.time()
         print(f"[{exp_id}] {label} ...", file=sys.stderr, flush=True)
-        if args.profile:
+        if profiling:
             PROFILE.reset()
             PROFILE.enable()
+        if args.trace_dir:
+            TRACE.enable()
         try:
             result = thunk()
         finally:
             PROFILE.disable()
+            TRACE.disable()
         elapsed = time.time() - t0
+        if profiling:
+            profile_snapshots[exp_id] = PROFILE.snapshot()
+        if args.trace_dir:
+            result.trace_summary = TRACE.metrics_snapshot()
+            trace_path = os.path.join(args.trace_dir, f"{exp_id}.trace.json")
+            with open(trace_path, "w") as fh:
+                json.dump(TRACE.to_chrome(), fh)
+            TRACE.reset()
         section = format_result(result) + f"\n({elapsed:.1f}s wall)"
         if args.profile:
             section += "\n" + PROFILE.report()
@@ -146,6 +180,56 @@ def main(argv=None) -> int:
         with open(args.out, "w") as fh:
             fh.write(report + "\n")
         print(f"\nwritten to {args.out}", file=sys.stderr)
+    if args.profile_json:
+        with open(args.profile_json, "w") as fh:
+            json.dump(profile_snapshots, fh, indent=2, sort_keys=True)
+        print(f"profile counters written to {args.profile_json}",
+              file=sys.stderr)
+    return 0
+
+
+def run_trace(exp_id: str, out: str, quick: bool = False) -> int:
+    """``python -m repro trace <exp-id> --out trace.json`` backend.
+
+    Runs one experiment under the flight recorder and writes the Chrome
+    trace-event JSON (loadable in Perfetto / ``chrome://tracing``); prints
+    the bottleneck-attribution summary to stderr.
+    """
+    registry = _registry(quick)
+    if exp_id not in registry:
+        raise SystemExit(
+            f"unknown experiment id {exp_id!r}; known: {list(registry)}"
+        )
+    label, thunk = registry[exp_id]
+    print(f"[{exp_id}] {label} (tracing) ...", file=sys.stderr, flush=True)
+
+    from repro.sim.trace import TRACE
+
+    TRACE.enable()
+    try:
+        result = thunk()
+    finally:
+        TRACE.disable()
+    result.trace_summary = TRACE.metrics_snapshot()
+    with open(out, "w") as fh:
+        json.dump(TRACE.to_chrome(), fh)
+    summary = result.trace_summary
+    ev = summary["events"]
+    print(
+        f"{out}: {len(summary['bounds'])} distinct bounds over "
+        f"{summary['flows']['recorded']} flows, "
+        f"{ev['buffered']} events ({ev['dropped']} evicted)",
+        file=sys.stderr,
+    )
+    for bound, entry in sorted(
+        summary["bounds"].items(), key=lambda kv: -kv[1]["sim_seconds"]
+    ):
+        print(
+            f"  {bound:<32} {entry['flows']:>6} flows "
+            f"{entry['sim_seconds']:>10.3f} flow-s",
+            file=sys.stderr,
+        )
+    TRACE.reset()
     return 0
 
 

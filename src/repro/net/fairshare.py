@@ -446,6 +446,16 @@ class FairshareState:
 
     # -- diagnostics ------------------------------------------------------------
 
+    def link_usage(self) -> np.ndarray:
+        """Per-link allocated bytes/s under the current rates.
+
+        One dense matvec over the incidence state — the bottleneck-
+        attribution layer (``repro.sim.trace``) divides this by the
+        capacity vector to find which links are saturated at each rate
+        change. Only called when tracing is enabled.
+        """
+        return self._M @ (self._rates * self._active)
+
     def component_sizes(self) -> List[int]:
         """Active-flow count per link-sharing component (for tests/benches)."""
         return sorted(len(cols) for cols in self._comp_cols.values() if cols)

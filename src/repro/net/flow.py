@@ -38,6 +38,7 @@ from repro.net.tcp import TcpModel
 from repro.net.topology import Network
 from repro.sim.kernel import Event, Simulation
 from repro.sim.profile import PROFILE
+from repro.sim.trace import TRACE
 from repro.util.timeseries import TimeSeries
 from repro.util.units import GB
 
@@ -50,6 +51,33 @@ _DONE_EPS_SECONDS = 1e-9
 #: the old absolute 1e-6-byte floor silently finished sub-microbyte flows
 #: before they ever carried a byte.
 _DONE_EPS_FRACTION = 1e-12
+
+#: Relative slack when attributing a flow's bound: a rate within this of
+#: the flow's cap counts as cap-limited; a link within this of full counts
+#: as saturated.
+_ATTR_EPS = 1e-6
+
+
+def _cap_kind(
+    tcp: TcpModel, rtt: float, peer_cap: Optional[float],
+    has_path: bool, local_rate: float,
+) -> str:
+    """Which term of the flow's rate cap is binding (bound attribution).
+
+    Candidates mirror :meth:`FlowEngine.transfer`'s cap arithmetic: the
+    TCP window limit, the Mathis loss limit, an explicit per-pair cap, and
+    the loopback rate for pathless flows. Only evaluated when tracing is
+    enabled — the disabled hot path never calls this.
+    """
+    candidates = [
+        (tcp.efficiency * tcp.window_cap(rtt), "window/rtt"),
+        (tcp.efficiency * tcp.mathis_cap(rtt), "mathis-loss"),
+    ]
+    if peer_cap is not None:
+        candidates.append((peer_cap, "peer-cap"))
+    if not has_path:
+        candidates.append((local_rate, "local"))
+    return min(candidates, key=lambda c: c[0])[1]
 
 
 class Flow:
@@ -75,6 +103,7 @@ class Flow:
         "start_time",
         "seq",
         "col",
+        "cap_kind",
     )
 
     def __init__(
@@ -102,6 +131,7 @@ class Flow:
         self.start_time = now
         self.seq = -1  # assigned by the engine for deterministic ordering
         self.col = -1  # column in the engine's FairshareState
+        self.cap_kind: Optional[str] = None  # which cap term binds (tracing)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -196,6 +226,9 @@ class FlowEngine:
         if nbytes == 0:
             self.sim.schedule_callback(delay, lambda: done.succeed(flow))
             return done
+        if TRACE.enabled:
+            flow.cap_kind = _cap_kind(tcp, rtt, cap, bool(links), self.local_rate)
+            TRACE.flow_created(self.sim, flow.seq, src, dst, nbytes, flow.tags)
         self.flows[flow] = None
         col = flow.col = self._state.add_flow(flow.path_ids, flow_cap)
         self._col_flow[col] = flow
@@ -304,6 +337,8 @@ class FlowEngine:
                     now,
                     now + rem / new_rates,
                 )
+                if TRACE.enabled:
+                    self._trace_rate_changes(cols)
         self._snapshot_tags(now)
         self._schedule_next_completion(now)
 
@@ -317,6 +352,39 @@ class FlowEngine:
         for f in drained:
             self._finish_flow(f)
 
+    def _trace_rate_changes(self, cols: np.ndarray) -> None:
+        """Record each changed flow's new rate with its bound tag.
+
+        A flow at (or within :data:`_ATTR_EPS` of) its cap is bound by
+        whichever cap term :func:`_cap_kind` identified at transfer time;
+        otherwise the max-min property guarantees a saturated link on its
+        path — attributed to the fullest one. Only called when tracing is
+        enabled; costs one matvec over the incidence state per recompute.
+        """
+        caps = np.asarray(self.network.link_capacities())
+        if caps.size:
+            util = self._state.link_usage()[: caps.shape[0]] / caps
+        else:
+            util = caps
+        for c in cols:
+            flow = self._col_flow.get(int(c))
+            if flow is None:
+                continue
+            rate = self._state.rate_of(int(c))
+            if rate >= flow.cap * (1.0 - _ATTR_EPS):
+                bound = flow.cap_kind or "cap"
+            else:
+                best = -1
+                best_u = 1.0 - _ATTR_EPS
+                for l in flow.path_ids:
+                    if util[l] > best_u:
+                        best, best_u = l, util[l]
+                if best >= 0:
+                    bound = f"link:{self.network.links[best].name}"
+                else:
+                    bound = "uncapped"
+            TRACE.flow_rate(self.sim, flow.seq, rate, bound)
+
     def _finish_flow(self, f: Flow) -> None:
         col = f.col
         del self.flows[f]
@@ -329,6 +397,8 @@ class FlowEngine:
         f.remaining = 0.0
         self.bytes_moved += f.size
         self.completed_flows += 1
+        if TRACE.enabled:
+            TRACE.flow_drained(self.sim, f.seq)
         if f.one_way_delay > 0:
             self.sim.schedule_callback(
                 f.one_way_delay, lambda f=f: f.done.succeed(f), name="flow-arrive"

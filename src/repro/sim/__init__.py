@@ -34,6 +34,7 @@ from repro.sim.resources import Resource, PriorityResource, Store, Container
 from repro.sim.rand import RngRegistry
 from repro.sim.monitor import Monitor, Gauge
 from repro.sim.profile import Profile, PROFILE
+from repro.sim.trace import Tracer, TRACE, FlowRecord
 
 __all__ = [
     "Simulation",
@@ -53,4 +54,7 @@ __all__ = [
     "Gauge",
     "Profile",
     "PROFILE",
+    "Tracer",
+    "TRACE",
+    "FlowRecord",
 ]

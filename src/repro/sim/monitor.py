@@ -57,4 +57,15 @@ class Monitor:
         return g
 
     def rate_series(self, name: str, t_end: float | None = None) -> TimeSeries:
-        return self.meter(name).series(t_end if t_end is not None else self.sim.now)
+        """Rate trace of meter ``name``; raises ``KeyError`` if never recorded.
+
+        (Looking the meter up via :meth:`meter` would silently create an
+        empty one, turning a typo into an empty series downstream.)
+        """
+        m = self.meters.get(name)
+        if m is None:
+            raise KeyError(
+                f"no meter {name!r} was ever recorded; "
+                f"known meters: {sorted(self.meters)}"
+            )
+        return m.series(t_end if t_end is not None else self.sim.now)

@@ -41,12 +41,15 @@ from typing import Dict, Iterator
 class Profile:
     """A named bundle of counters and accumulated wall-clock timers."""
 
-    __slots__ = ("enabled", "counters", "timers")
+    __slots__ = ("enabled", "counters", "timers", "_timed_depth")
 
     def __init__(self) -> None:
         self.enabled = False
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}
+        # Re-entrancy depth per timer name: only the outermost timed("x")
+        # accumulates, so nesting cannot double-count wall time.
+        self._timed_depth: Dict[str, int] = {}
 
     # -- control ------------------------------------------------------------
 
@@ -59,6 +62,7 @@ class Profile:
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()
+        self._timed_depth.clear()
 
     # -- recording ----------------------------------------------------------
 
@@ -69,17 +73,28 @@ class Profile:
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
-        """Accumulate wall time of the ``with`` body into timer ``name``."""
+        """Accumulate wall time of the ``with`` body into timer ``name``.
+
+        Re-entrant: a nested ``timed("x")`` inside an open ``timed("x")``
+        is a no-op, so recursive call sites count their wall time once.
+        """
         if not self.enabled:
             yield
             return
-        t0 = time.perf_counter()
+        depth = self._timed_depth.get(name, 0)
+        self._timed_depth[name] = depth + 1
+        t0 = time.perf_counter() if depth == 0 else 0.0
         try:
             yield
         finally:
-            self.timers[name] = (
-                self.timers.get(name, 0.0) + time.perf_counter() - t0
-            )
+            # pop-with-default keeps a reset() inside the span harmless.
+            remaining = self._timed_depth.pop(name, 1) - 1
+            if remaining > 0:
+                self._timed_depth[name] = remaining
+            else:
+                self.timers[name] = (
+                    self.timers.get(name, 0.0) + time.perf_counter() - t0
+                )
 
     # -- reporting ----------------------------------------------------------
 

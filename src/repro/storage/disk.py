@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.kernel import Event, Simulation
+from repro.sim.trace import TRACE
 from repro.storage.pipes import Pipe
 from repro.util.units import GB, MB
 
@@ -88,9 +89,19 @@ class Disk:
         )
 
     def _serve(self, pipe: Pipe, nbytes: float, extra_latency: float):
+        tr = TRACE if TRACE.enabled else None
+        lane = f"disk:{self.name}"
         with pipe._res.request() as req:
+            wid = tr.begin(self.sim, "wait", cat="storage.queue", lane=lane,
+                           bytes=nbytes) if tr else 0
             yield req
+            if wid:
+                tr.end(self.sim, wid)
+            sid = tr.begin(self.sim, "service", cat="storage.service",
+                           lane=lane, bytes=nbytes) if tr else 0
             yield self.sim.timeout(extra_latency + pipe.service_time(nbytes))
+            if sid:
+                tr.end(self.sim, sid)
         pipe.bytes_served += nbytes
         pipe.ios_served += 1
 

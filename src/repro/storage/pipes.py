@@ -14,6 +14,7 @@ from typing import Generator, Optional
 
 from repro.sim.kernel import Event, Simulation
 from repro.sim.resources import Resource
+from repro.sim.trace import TRACE
 
 
 class Pipe:
@@ -50,9 +51,21 @@ class Pipe:
         return self.sim.process(self._serve(nbytes), name=f"{self.name}-xfer")
 
     def _serve(self, nbytes: float) -> Generator[Event, None, None]:
+        # One enabled-check per IO; queue wait and service become separate
+        # spans so traces show where a stage's latency actually went.
+        tr = TRACE if TRACE.enabled else None
+        lane = f"pipe:{self.name}"
         with self._res.request() as req:
+            wid = tr.begin(self.sim, "wait", cat="storage.queue", lane=lane,
+                           bytes=nbytes) if tr else 0
             yield req
+            if wid:
+                tr.end(self.sim, wid)
+            sid = tr.begin(self.sim, "service", cat="storage.service",
+                           lane=lane, bytes=nbytes) if tr else 0
             yield self.sim.timeout(self.service_time(nbytes))
+            if sid:
+                tr.end(self.sim, sid)
         self.bytes_served += nbytes
         self.ios_served += 1
 

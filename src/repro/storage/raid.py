@@ -20,6 +20,7 @@ import enum
 from typing import Generator, List, Optional
 
 from repro.sim.kernel import Event, Simulation
+from repro.sim.trace import TRACE
 from repro.storage.disk import Disk, DiskSpec
 from repro.storage.pipes import Pipe
 from repro.util.units import KiB, MB
@@ -185,9 +186,20 @@ class RaidSet:
         # both kinds while preserving each kind's service time.
         equiv = nbytes * (pipe.rate / rate)
         seek = 0.0 if sequential else self.spec.seek_time
+        tr = TRACE if TRACE.enabled else None
+        lane = f"raid:{self.name}"
         with pipe._res.request() as req:
+            wid = tr.begin(self.sim, f"wait.{kind}", cat="storage.queue",
+                           lane=lane, bytes=nbytes) if tr else 0
             yield req
+            if wid:
+                tr.end(self.sim, wid)
+            sid = tr.begin(self.sim, f"service.{kind}", cat="storage.service",
+                           lane=lane, bytes=nbytes,
+                           state=self.state.value) if tr else 0
             yield self.sim.timeout(seek + pipe.service_time(equiv))
+            if sid:
+                tr.end(self.sim, sid)
         pipe.bytes_served += nbytes
         pipe.ios_served += 1
 
@@ -197,6 +209,10 @@ class RaidSet:
         if nbytes == 0:
             yield self.sim.timeout(0.0)
             return
+        tr = TRACE if TRACE.enabled else None
+        sid = tr.begin(self.sim, f"stripe.{kind}", cat="storage.service",
+                       lane=f"raid:{self.name}", bytes=nbytes,
+                       state=self.state.value) if tr else 0
         chunk = nbytes / self.data_disks
         # Degraded/rebuilding sets do extra member work (reconstruction
         # reads every survivor; the rebuild stream steals spindle time);
@@ -215,3 +231,5 @@ class RaidSet:
             for disk in parity_members:
                 events.append(disk.io("write", member_bytes if rmw else parity_bytes, sequential))
         yield self.sim.all_of(events)
+        if sid:
+            tr.end(self.sim, sid)

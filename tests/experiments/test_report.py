@@ -1,8 +1,10 @@
 """Tests for the combined report runner."""
 
+import json
+
 import pytest
 
-from repro.experiments.report import _registry, main
+from repro.experiments.report import _registry, main, run_trace
 
 ALL_IDS = [f"E{i}" for i in range(1, 13)] + [f"A{i}" for i in range(1, 7)]
 
@@ -34,3 +36,51 @@ class TestCli:
         main(["--quick", "--only", "A3"])
         captured = capsys.readouterr()
         assert "ablation" in captured.out
+
+
+class TestProfileJson:
+    def test_profile_json_written_per_experiment(self, capsys, tmp_path):
+        path = tmp_path / "prof.json"
+        rc = main(["--quick", "--only", "A3", "--profile-json", str(path)])
+        assert rc == 0
+        snap = json.loads(path.read_text())
+        # --profile-json implies profiling even without --profile.
+        assert "flowengine.recomputes" in snap["A3"]["counters"]
+        assert set(snap["A3"]) == {"counters", "timers"}
+
+
+class TestTraceDir:
+    def test_trace_dir_writes_parseable_chrome_trace(self, capsys, tmp_path):
+        d = tmp_path / "traces"
+        rc = main(["--quick", "--only", "A3", "--trace-dir", str(d)])
+        assert rc == 0
+        doc = json.loads((d / "A3.trace.json").read_text())
+        events = doc["traceEvents"]
+        assert events
+        assert all({"ph", "name", "pid", "tid"} <= set(e) for e in events)
+        # The report section carries the attribution summary.
+        assert "bottlenecks:" in capsys.readouterr().out
+
+    def test_tracer_left_disabled_and_empty(self, capsys, tmp_path):
+        from repro.sim.trace import TRACE
+
+        main(["--quick", "--only", "A3", "--trace-dir", str(tmp_path)])
+        assert not TRACE.enabled
+        assert not TRACE.flows and len(TRACE._events) == 0
+
+
+class TestRunTrace:
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_trace("E99", str(tmp_path / "t.json"), quick=True)
+
+    def test_writes_trace_and_prints_bound_table(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        rc = run_trace("A3", str(out), quick=True)
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "b" and e.get("cat") == "flow"
+                   for e in doc["traceEvents"])
+        err = capsys.readouterr().err
+        assert "distinct bounds" in err
+        assert "flow-s" in err

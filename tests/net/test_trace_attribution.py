@@ -1,0 +1,171 @@
+"""Bottleneck attribution: the flow engine tags every rate change.
+
+These tests drive real `FlowEngine` scenarios under an enabled tracer and
+assert on the bound tags in the resulting flow records — the mechanism
+behind `python -m repro trace E8` showing window/RTT-bound single streams
+versus link-bound 64-stream cells.
+"""
+
+import pytest
+
+from repro.net import FlowEngine, Network, TcpModel
+from repro.sim import Simulation
+from repro.sim.trace import TRACE
+from repro.util.units import GB, MB
+
+
+@pytest.fixture(autouse=True)
+def traced():
+    TRACE.enable()
+    yield TRACE
+    TRACE.disable()
+    TRACE.reset()
+
+
+def line(rate=MB(100), delay=0.0):
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", rate, delay=delay, efficiency=1.0)
+    return net
+
+
+def bounds_of(rec):
+    """Distinct bound tags of one flow record, in first-seen order."""
+    out = []
+    for _t, _rate, bound in rec.history:
+        if not out or out[-1] != bound:
+            out.append(bound)
+    return out
+
+
+class TestCapAttribution:
+    def test_window_limited_flow_is_window_rtt_bound(self):
+        # 1 MB window at 100 ms RTT -> 10 MB/s on a 100 MB/s link: the
+        # window binds, not the link.
+        net = line(rate=MB(100), delay=0.050)
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=MB(1)))
+        sim.run(until=eng.transfer("a", "b", MB(10)))
+        (rec,) = TRACE.flows
+        assert bounds_of(rec) == ["window/rtt"]
+
+    def test_mathis_loss_bound_when_loss_cap_binds(self):
+        # At 1% loss the Mathis cap (~0.18 MB/s here) sits far below the
+        # 10 MB/s window cap, so loss is the attributed bound.
+        net = line(rate=MB(100), delay=0.050)
+        sim = Simulation()
+        tcp = TcpModel(window=MB(1), loss=0.01)
+        eng = FlowEngine(sim, net, default_tcp=tcp)
+        sim.run(until=eng.transfer("a", "b", MB(1)))
+        (rec,) = TRACE.flows
+        assert bounds_of(rec) == ["mathis-loss"]
+
+    def test_peer_cap_bound(self):
+        net = line(rate=MB(100))
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        sim.run(until=eng.transfer("a", "b", MB(10), cap=MB(20)))
+        (rec,) = TRACE.flows
+        assert bounds_of(rec) == ["peer-cap"]
+
+    def test_loopback_flow_is_local_bound(self):
+        net = line()
+        sim = Simulation()
+        eng = FlowEngine(
+            sim, net, local_rate=MB(200), default_tcp=TcpModel(window=GB(1))
+        )
+        sim.run(until=eng.transfer("a", "a", MB(100)))
+        (rec,) = TRACE.flows
+        assert bounds_of(rec) == ["local"]
+
+
+class TestLinkAttribution:
+    def test_uncapped_flow_alone_is_link_bound(self):
+        net = line(rate=MB(100))
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        sim.run(until=eng.transfer("a", "b", MB(50)))
+        (rec,) = TRACE.flows
+        assert bounds_of(rec) == ["link:a->b"]
+        assert rec.history[0][1] == pytest.approx(MB(100))
+
+    def test_attribution_picks_the_saturated_trunk(self):
+        # Fat edge links funnel into a thin trunk: the trunk gets blamed.
+        net = Network()
+        for n in ("h1", "sw", "dst"):
+            net.add_node(n)
+        net.add_link("h1", "sw", MB(1000), efficiency=1.0)
+        net.add_link("sw", "dst", MB(100), efficiency=1.0)
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        sim.run(until=eng.transfer("h1", "dst", MB(50)))
+        (rec,) = TRACE.flows
+        assert bounds_of(rec) == ["link:sw->dst"]
+
+    def test_parallel_capped_streams_saturate_the_link(self):
+        # The paper's mechanism end-to-end: each 1 MB-window stream is
+        # window-bound alone, but 20 of them fill the 100 MB/s link and
+        # every one becomes (and stays) link-bound.
+        net = line(rate=MB(100), delay=0.050)
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=MB(1)))
+        events = [eng.transfer("a", "b", MB(5)) for _ in range(20)]
+        sim.run(until=sim.all_of(events))
+        assert len(TRACE.flows) == 20
+        for rec in TRACE.flows:
+            assert bounds_of(rec)[-1] == "link:a->b"
+
+
+class TestBoundTransitions:
+    def test_capped_flow_turns_link_bound_when_sharing(self):
+        # Flow 1 (6 MB window, 100 ms RTT -> 60 MB/s cap) starts alone on a
+        # 100 MB/s link: window-bound at 60. A big-window flow arrives and
+        # the fair share drops flow 1 to 50 < its cap: now link-bound.
+        net = line(rate=MB(100), delay=0.050)
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=MB(6)))
+        e1 = eng.transfer("a", "b", MB(60), tags=("first",))
+
+        def late(sim):
+            yield sim.timeout(0.25)
+            yield eng.transfer("a", "b", MB(200), tcp=TcpModel(window=GB(1)))
+
+        sim.process(late(sim))
+        sim.run(until=e1)
+        first = next(r for r in TRACE.flows if "first" in r.tags)
+        assert bounds_of(first) == ["window/rtt", "link:a->b"]
+        rates = [rate for _t, rate, _b in first.history]
+        assert rates[0] == pytest.approx(MB(60))
+        assert rates[1] == pytest.approx(MB(50))
+
+    def test_flow_speeds_up_and_rebinds_when_peer_drains(self):
+        # Two uncapped flows share the link (both link-bound at 50); the
+        # small one drains and the survivor jumps back to 100 — still
+        # link-bound, with the rate history showing the step.
+        net = line(rate=MB(100))
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        e1 = eng.transfer("a", "b", MB(100), tags=("big",))
+        eng.transfer("a", "b", MB(50))
+        sim.run(until=e1)
+        big = next(r for r in TRACE.flows if "big" in r.tags)
+        segs = big.timeline()
+        assert [s[2] for s in segs] == [pytest.approx(MB(50)), pytest.approx(MB(100))]
+        assert all(s[3] == "link:a->b" for s in segs)
+
+
+class TestSummaries:
+    def test_bound_summary_splits_cap_and_link_time(self):
+        net = line(rate=MB(100), delay=0.050)
+        sim = Simulation()
+        eng = FlowEngine(sim, net, default_tcp=TcpModel(window=MB(1)))
+        done = [
+            eng.transfer("a", "b", MB(10)),  # window-bound at 10 MB/s
+            eng.transfer("a", "b", MB(10), tcp=TcpModel(window=GB(1))),
+        ]
+        sim.run(until=sim.all_of(done))
+        summary = TRACE.bound_summary()
+        assert summary["window/rtt"]["flows"] == 1
+        assert "link:a->b" in summary
+        assert TRACE.link_summary()["a->b"]["flows"] == 1

@@ -1,0 +1,92 @@
+"""Tests for the simulator self-profiler (`repro.sim.profile`)."""
+
+import time
+
+import pytest
+
+from repro.sim import Profile
+
+
+@pytest.fixture
+def prof():
+    p = Profile()
+    p.enable()
+    return p
+
+
+class TestCounters:
+    def test_count_accumulates(self, prof):
+        prof.count("x")
+        prof.count("x", 4)
+        assert prof.counters["x"] == 5
+
+    def test_disabled_is_noop(self):
+        p = Profile()
+        p.count("x")
+        with p.timed("t"):
+            pass
+        assert not p.counters and not p.timers
+
+    def test_snapshot_is_a_copy(self, prof):
+        prof.count("x")
+        snap = prof.snapshot()
+        prof.count("x")
+        assert snap["counters"]["x"] == 1
+
+    def test_report_mentions_names(self, prof):
+        prof.count("solver.rows", 3)
+        assert "solver.rows" in prof.report()
+
+
+class TestTimedReentrancy:
+    def test_nested_same_name_counts_wall_time_once(self, prof):
+        """Regression: nested timed("x") used to double-count wall time."""
+        def busy(dt):
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < dt:
+                pass
+
+        dt = 0.02
+        with prof.timed("x"):
+            with prof.timed("x"):
+                busy(dt)
+        # Double-counting would report >= 2*dt.
+        assert prof.timers["x"] == pytest.approx(dt, rel=0.5)
+
+    def test_recursive_call_site(self, prof):
+        def recurse(n):
+            with prof.timed("r"):
+                if n:
+                    recurse(n - 1)
+
+        recurse(10)
+        assert prof.timers["r"] < 0.1
+        assert not prof._timed_depth  # fully unwound
+
+    def test_distinct_names_accumulate_independently(self, prof):
+        with prof.timed("a"):
+            with prof.timed("b"):
+                pass
+        assert "a" in prof.timers and "b" in prof.timers
+
+    def test_sequential_same_name_accumulates(self, prof):
+        with prof.timed("x"):
+            pass
+        first = prof.timers["x"]
+        with prof.timed("x"):
+            pass
+        assert prof.timers["x"] >= first
+
+    def test_exception_unwinds_depth(self, prof):
+        with pytest.raises(RuntimeError):
+            with prof.timed("x"):
+                raise RuntimeError("boom")
+        assert not prof._timed_depth
+        assert "x" in prof.timers
+
+    def test_reset_clears_depth_state(self, prof):
+        with prof.timed("x"):
+            prof.reset()
+        # The outer exit sees no stale depth and must not crash... the
+        # accumulation after reset is allowed to re-create the timer.
+        assert prof._timed_depth == {}

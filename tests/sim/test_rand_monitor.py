@@ -82,3 +82,50 @@ class TestMonitor:
         sim = Simulation()
         with pytest.raises(ValueError):
             Gauge(sim, name="g").last()
+
+    def test_gauge_unset_error_names_gauge(self):
+        sim = Simulation()
+        with pytest.raises(ValueError, match="'depth'"):
+            Gauge(sim, name="depth").last()
+
+    def test_rate_series_unknown_meter_raises(self):
+        # Regression: rate_series used to silently create an empty meter
+        # for a typo'd name; now it must raise with the known names.
+        sim = Simulation()
+        mon = Monitor(sim)
+        mon.record_bytes("net", 100)
+        with pytest.raises(KeyError, match="nett"):
+            mon.rate_series("nett")
+        assert sorted(mon.meters) == ["net"]  # no meter leaked
+
+    def test_rate_series_error_lists_known_meters(self):
+        sim = Simulation()
+        mon = Monitor(sim)
+        mon.record_bytes("disk", 1)
+        mon.record_bytes("net", 1)
+        with pytest.raises(KeyError, match="disk.*net"):
+            mon.rate_series("wan")
+
+    def test_meter_windowing_bins_by_window(self):
+        sim = Simulation()
+        mon = Monitor(sim, window=2.0)
+
+        def proc(sim):
+            mon.record_bytes("net", 100)  # t=0, bin [0,2)
+            yield sim.timeout(1.0)
+            mon.record_bytes("net", 100)  # t=1, bin [0,2)
+            yield sim.timeout(2.0)
+            mon.record_bytes("net", 600)  # t=3, bin [2,4)
+
+        sim.process(proc(sim))
+        sim.run()
+        series = mon.rate_series("net", t_end=4.0)
+        # Per-window byte totals divided by the window length.
+        assert series.times == [2.0, 4.0]
+        assert series.values == [100.0, 300.0]
+
+    def test_meter_respects_custom_window(self):
+        sim = Simulation()
+        mon = Monitor(sim, window=1.0)
+        assert mon.meter("fine", window=0.25).window == 0.25
+        assert mon.meter("coarse").window == 1.0

@@ -24,3 +24,16 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_trace_subcommand_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "t.json"
+        rc = main(["trace", "A3", "--quick", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "E99", "--out", str(tmp_path / "t.json")])
