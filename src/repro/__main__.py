@@ -4,10 +4,12 @@ Subcommands::
 
     python -m repro report [--quick] [--only E1 A3] [--out FILE]
                            [--profile] [--profile-json FILE] [--trace-dir DIR]
+    python -m repro run E13 [--quick] [--out FILE]
     python -m repro trace E8 --out trace.json [--quick]
     python -m repro info
 
 ``report`` regenerates the paper's figures (see EXPERIMENTS.md);
+``run`` runs a single experiment by id (shorthand for ``report --only``);
 ``trace`` runs one experiment under the flight recorder and writes a
 Chrome trace-event JSON with per-flow bottleneck attribution;
 ``info`` prints the system inventory and experiment index.
@@ -16,7 +18,6 @@ Chrome trace-event JSON with per-flow bottleneck attribution;
 from __future__ import annotations
 
 import argparse
-import sys
 
 
 def _info() -> str:
@@ -52,6 +53,12 @@ def main(argv=None) -> int:
     report.add_argument("--profile", action="store_true")
     report.add_argument("--profile-json", metavar="FILE")
     report.add_argument("--trace-dir", metavar="DIR")
+    run = sub.add_parser(
+        "run", help="run one experiment by id (e.g. E13) and print it"
+    )
+    run.add_argument("exp_id", metavar="EXP_ID", help="experiment id, e.g. E13")
+    run.add_argument("--quick", action="store_true")
+    run.add_argument("--out", metavar="FILE")
     trace = sub.add_parser(
         "trace",
         help="run one experiment under the flight recorder; write a "
@@ -81,6 +88,15 @@ def main(argv=None) -> int:
             forwarded += ["--profile-json", args.profile_json]
         if args.trace_dir:
             forwarded += ["--trace-dir", args.trace_dir]
+        return report_main(forwarded)
+    if args.command == "run":
+        from repro.experiments.report import main as report_main
+
+        forwarded = ["--only", args.exp_id]
+        if args.quick:
+            forwarded.append("--quick")
+        if args.out:
+            forwarded += ["--out", args.out]
         return report_main(forwarded)
     if args.command == "trace":
         from repro.experiments.report import run_trace

@@ -13,7 +13,6 @@ does); verification walks proxy → user cert → trusted CA.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.auth.rsa import RsaKeyPair, RsaPublicKey
 

@@ -22,12 +22,11 @@ present (§6's extension).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.filesystem import Filesystem
-from repro.core.inode import FileType, Inode
+from repro.core.inode import Inode
 from repro.core.namespace import (
-    FsError,
     IsADirectory,
     NoSuchFile,
     PermissionDenied,

@@ -13,7 +13,7 @@ so the examples read like the deployment they reproduce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.auth.cipher import CipherPolicy, cipher as cipher_lookup

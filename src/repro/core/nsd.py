@@ -159,6 +159,10 @@ class NsdServerDown(ConnectionError):
     """Neither the primary nor any backup NSD server is reachable."""
 
 
+class RpcRetriesExhausted(ConnectionError):
+    """A block RPC failed every attempt allowed by the retry policy."""
+
+
 class NsdService:
     """The client↔server block protocol over the fluid network.
 
@@ -196,27 +200,108 @@ class NsdService:
         self.blocks_read = 0
         self.blocks_written = 0
         self.failovers = 0
+        #: (sim time, nsd_id, from_node, to_node) per primary→backup switch.
+        self.failover_events: list[tuple[float, int, str, str]] = []
+        self._active: Dict[int, str] = {}  # nsd_id -> server node last used
+        #: Ground-truth liveness (repro.faults.NodeHealth); None = all up.
+        self.health = None
+        #: Client retry policy (repro.faults.RetryPolicy); None = legacy
+        #: fail-fast behaviour, preserved exactly for existing callers.
+        self.retry = None
+        self._retry_rng = None
+        self.retries = 0
+        self.rpc_timeouts = 0
+        self._down_waiters: Dict[str, list] = {}
+
+    def attach_health(self, health) -> None:
+        """RPCs to nodes that are down in ``health`` park until the lease
+        detector declares the node dead (or it restarts), then raise
+        :class:`NsdServerDown` — instead of succeeding against a corpse."""
+        self.health = health
+
+    def attach_retry(self, policy, rng=None) -> None:
+        """Enable per-RPC timeout/backoff/failover retry on block ops.
+
+        ``rng`` is a seeded numpy Generator for backoff jitter (e.g.
+        ``RngRegistry.stream("faults.retry")``) so runs stay reproducible.
+        """
+        self.retry = policy
+        self._retry_rng = rng
 
     def mark_down(self, node: str) -> None:
         """Declare an NSD server node dead (disk lease expired)."""
         self.down_nodes.add(node)
+        for event in self._down_waiters.pop(node, []):
+            if not event.triggered:
+                event.succeed(node)
 
     def mark_up(self, node: str) -> None:
         self.down_nodes.discard(node)
+
+    def _down_declared(self, node: str) -> Event:
+        """Event that fires when ``node`` is (or already was) marked down."""
+        event = Event(self.sim)
+        if node in self.down_nodes:
+            event.succeed(node)
+        else:
+            self._down_waiters.setdefault(node, []).append(event)
+        return event
 
     def server_of(self, nsd_id: int) -> NsdServer:
         try:
             primary = self.servers[nsd_id]
         except KeyError:
             raise KeyError(f"no NSD server for NSD {nsd_id}") from None
+        chosen: Optional[NsdServer] = None
         if primary.node not in self.down_nodes:
-            return primary
-        for backup in self.backup_servers.get(nsd_id, []):
-            if backup.node not in self.down_nodes:
-                self.failovers += 1
-                return backup
+            chosen = primary
+        else:
+            for backup in self.backup_servers.get(nsd_id, []):
+                if backup.node not in self.down_nodes:
+                    chosen = backup
+                    break
+        if chosen is None:
+            raise NsdServerDown(
+                f"NSD {nsd_id}: primary {primary.node!r} and all backups are down"
+            )
+        # Count primary→backup *transitions*, not per-block routings (and
+        # not failback to the primary) — A5's failover metric is a count
+        # of events, not of blocks served while degraded.
+        prev = self._active.get(nsd_id, primary.node)
+        if chosen.node != prev and chosen.node != primary.node:
+            self.failovers += 1
+            self.failover_events.append(
+                (self.sim.now, nsd_id, prev, chosen.node)
+            )
+            if TRACE.enabled:
+                TRACE.instant(
+                    self.sim, "nsd.failover", cat="fault.failover",
+                    lane=f"nsd:{chosen.name}", nsd=nsd_id,
+                    from_node=prev, to_node=chosen.node,
+                )
+        self._active[nsd_id] = chosen.node
+        return chosen
+
+    # -- crash awareness ------------------------------------------------------
+
+    def _guard(self, server: NsdServer):
+        """No-op while ``server``'s node is up; otherwise park until the
+        lease detector declares it down (or the node restarts), then raise
+        :class:`NsdServerDown` so the retry layer can fail over.
+
+        Yields nothing at all in the healthy case, so attaching health
+        tracking adds zero event hops to the nominal data path.
+        """
+        if self.health is None or self.health.is_up(server.node):
+            return
+        yield self.sim.any_of(
+            [
+                self._down_declared(server.node),
+                self.health.wait_restart(server.node),
+            ]
+        )
         raise NsdServerDown(
-            f"NSD {nsd_id}: primary {primary.node!r} and all backups are down"
+            f"server {server.node!r} crashed mid-RPC"
         )
 
     def _pair_kwargs(self, src: str, dst: str) -> dict:
@@ -244,14 +329,15 @@ class NsdService:
         tags: tuple[str, ...] = (),
     ) -> Event:
         """Write ``data`` (bytes, or a length for size-only mode) to a block."""
-        return self.sim.process(
-            self._write(client_node, nsd_id, phys, offset, data, sequential, tags),
-            name="nsd-write",
-        )
+        args = (client_node, nsd_id, phys, offset, data, sequential, tags)
+        if self.retry is not None:
+            return self.sim.process(self._with_retry("write", args), name="nsd-write")
+        return self.sim.process(self._write(*args), name="nsd-write")
 
     def _write(self, client_node, nsd_id, phys, offset, data, sequential, tags):
         nsd = self.nsds[nsd_id]
         server = self.server_of(nsd_id)
+        yield from self._guard(server)
         if isinstance(data, int):
             length = data
             payload: bytes | None = None
@@ -286,6 +372,7 @@ class NsdService:
         )
         if sid:
             tr.end(self.sim, sid)
+        yield from self._guard(server)
         # 2. media write
         sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
                        lane=lane) if tr else 0
@@ -299,6 +386,7 @@ class NsdService:
             nsd._check_block(phys)
             nsd.writes += 1  # size-only mode: count, no contents to keep
         self.blocks_written += 1
+        yield from self._guard(server)
         # 3. ack back to client
         sid = tr.begin(self.sim, "net.ack", cat="nsd.net", lane=lane) if tr else 0
         yield self.messages.send(server.node, client_node, nbytes=self.CONTROL_BYTES)
@@ -319,14 +407,15 @@ class NsdService:
         tags: tuple[str, ...] = (),
     ) -> Event:
         """Read a block slice; the event's value is the data (bytes)."""
-        return self.sim.process(
-            self._read(client_node, nsd_id, phys, offset, length, sequential, tags),
-            name="nsd-read",
-        )
+        args = (client_node, nsd_id, phys, offset, length, sequential, tags)
+        if self.retry is not None:
+            return self.sim.process(self._with_retry("read", args), name="nsd-read")
+        return self.sim.process(self._read(*args), name="nsd-read")
 
     def _read(self, client_node, nsd_id, phys, offset, length, sequential, tags):
         nsd = self.nsds[nsd_id]
         server = self.server_of(nsd_id)
+        yield from self._guard(server)
         tr = TRACE if TRACE.enabled else None
         lane = f"nsd:{server.name}"
         rpc = tr.begin(
@@ -338,6 +427,7 @@ class NsdService:
         yield self.messages.send(client_node, server.node, nbytes=self.CONTROL_BYTES)
         if sid:
             tr.end(self.sim, sid)
+        yield from self._guard(server)
         # 2. media read
         sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
                        lane=lane) if tr else 0
@@ -345,6 +435,7 @@ class NsdService:
         if sid:
             tr.end(self.sim, sid)
         data = nsd.fetch(phys, offset, length)
+        yield from self._guard(server)
         # 2b. software crypto stages (encrypt at the server, decrypt at the
         #     client — each node's CPU is a shared pipe)
         if self.crypto_resolver is not None:
@@ -370,3 +461,49 @@ class NsdService:
             tr.end(self.sim, rpc)
         self.blocks_read += 1
         return data
+
+    # -- retry ----------------------------------------------------------------
+
+    def _with_retry(self, kind, args):
+        """One block RPC with per-attempt timeout, backoff, and failover.
+
+        Each attempt races the RPC against ``retry.rpc_timeout``. An
+        attempt that raises :class:`NsdServerDown` (crashed server, lease
+        declared) or times out (stuck against a not-yet-declared corpse)
+        is abandoned and re-issued after exponential backoff with seeded
+        jitter; ``server_of`` routes the re-issue to a live backup once
+        the detector has marked the primary down. Raises
+        :class:`RpcRetriesExhausted` only when every attempt failed.
+        """
+        policy = self.retry
+        last: BaseException | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            gen = self._write(*args) if kind == "write" else self._read(*args)
+            proc = self.sim.process(gen, name=f"nsd-{kind}-try{attempt}")
+            timer = self.sim.timeout(policy.rpc_timeout)
+            try:
+                fired = yield self.sim.any_of([proc, timer])
+            except NsdServerDown as exc:
+                last = exc
+            else:
+                if proc in fired:
+                    return fired[proc]
+                # Timer won the race: the attempt is stuck — abandon it.
+                self.rpc_timeouts += 1
+                last = TimeoutError(f"nsd {kind} attempt {attempt} timed out")
+                if proc.is_alive:
+                    proc.interrupt("rpc timeout")
+            if attempt == policy.max_attempts:
+                break
+            self.retries += 1
+            delay = policy.backoff_delay(attempt, self._retry_rng)
+            if TRACE.enabled:
+                TRACE.instant(
+                    self.sim, "nsd.rpc_retry", cat="fault.retry",
+                    lane="nsd.retry", kind=kind, attempt=attempt,
+                    backoff=delay, cause=type(last).__name__,
+                )
+            yield self.sim.timeout(delay)
+        raise RpcRetriesExhausted(
+            f"nsd {kind} failed after {policy.max_attempts} attempts: {last}"
+        ) from last

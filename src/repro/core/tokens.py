@@ -97,6 +97,11 @@ class TokenManager:
         self._ino_locks: Dict[int, Resource] = {}
         self.grants = 0
         self.revokes = 0
+        #: Optional repro.faults.DiskLeaseDetector: when the holder of a
+        #: conflicting token is dead, revocation waits for its lease to
+        #: expire instead of messaging a corpse forever.
+        self.failure_detector = None
+        self.dead_holder_releases = 0
 
     def register_client(self, node: str, handler: RevokeHandler) -> None:
         self._handlers[node] = handler
@@ -193,6 +198,19 @@ class TokenManager:
     def _revoke(self, ino: int, token: HeldToken, start: int, end: int):
         """Take ``[start, end)`` back from ``token``'s holder."""
         self.revokes += 1
+        # A dead holder can neither flush nor release: wait for the lease
+        # detector to declare it (which bounds the stall at the lease
+        # duration, exactly as in GPFS), then reclaim its tokens outright.
+        det = self.failure_detector
+        if (
+            det is not None
+            and det.watches(token.holder)
+            and not det.is_responsive(token.holder)
+        ):
+            yield det.declared_dead(token.holder)
+            self.dead_holder_releases += 1
+            self._shrink(ino, token, start, end)
+            return
         # revoke message manager → holder
         yield self.messages.send(self.node, token.holder, nbytes=256)
         handler = self._handlers.get(token.holder)

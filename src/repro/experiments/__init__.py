@@ -7,8 +7,10 @@ measured numbers; ``python -m repro report`` regenerates everything.
 
 Index: E1 (Fig 2), E2 (Fig 5), E3 (Fig 8), E4 (Fig 11), E5 (ANL), E6
 (DEISA), E7 (staging vs GFS), E8 (latency), E9 (auth), E10 (HSM), E11
-(BG/L), E12 (SCEC capacity); ablations A1 (block size), A2 (server count),
-A3 (TCP window), A4 (GbE upgrade), A5 (degraded/failover), A6 (loss).
+(BG/L), E12 (SCEC capacity), E13 (chaos soak: scripted faults,
+lease-expiry detection, failover); ablations A1 (block size), A2 (server
+count), A3 (TCP window), A4 (GbE upgrade), A5 (degraded/failover), A6
+(loss).
 """
 
 from repro.experiments.harness import ExperimentResult, format_result

@@ -195,11 +195,14 @@ def run_a5_degraded(read_bytes: float = MB(400)) -> ExperimentResult:
     Fig 9's hot spares and GPFS's primary/backup NSD servers exist for the
     hours-long windows this ablation measures: streaming read rate from
     one DS4100 LUN while healthy / degraded / rebuilding, and the
-    full-stack aggregate before and after an NSD server node dies.
+    full-stack aggregate before and after an NSD server node dies. The
+    node death is scripted through a :class:`~repro.faults.FaultSchedule`
+    and *detected* by disk-lease expiry — nothing marks the node down by
+    hand.
     """
+    from repro.faults import FaultSchedule, attach_faults
     from repro.sim import Simulation
     from repro.storage import make_ds4100
-    from repro.storage.raid import RaidState
 
     result = ExperimentResult(
         exp_id="A5",
@@ -239,15 +242,28 @@ def run_a5_degraded(read_bytes: float = MB(400)) -> ExperimentResult:
     before = g.run(until=mpiio_collective(mounts, "/f", "read",
                                           region_bytes=MiB(32),
                                           transfer_bytes=MiB(1))).extra["rate"]
-    scenario.fs.service.mark_down("nsd00")
+    t_crash = g.sim.now + 0.1
+    harness = attach_faults(
+        g.sim,
+        scenario.fs.service,
+        manager_node=scenario.fs.manager_node,
+        schedule=FaultSchedule().crash_node(t_crash, "nsd00"),
+        engine=g.engine,
+        network=g.network,
+        lease_duration=1.0,
+    )
+    g.run(until=harness.declared_dead("nsd00"))
+    detection_latency = g.sim.now - t_crash
     for m in mounts:
         m.pool.invalidate(ino)
     after = g.run(until=mpiio_collective(mounts, "/f", "read",
                                          region_bytes=MiB(32),
                                          transfer_bytes=MiB(1))).extra["rate"]
+    harness.stop()
     result.metrics["fs_rate_before_failover"] = before
     result.metrics["fs_rate_after_failover"] = after
     result.metrics["failovers"] = float(scenario.fs.service.failovers)
+    result.metrics["detection_latency"] = detection_latency
     table.add_row(["fs: 8 servers up", before / 1e6])
     table.add_row(["fs: 1 server down", after / 1e6])
     result.table = table

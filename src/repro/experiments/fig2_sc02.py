@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.experiments.harness import ExperimentResult
 from repro.topology.sc02 import build_sc02
 from repro.util.tables import Table
-from repro.util.units import GB, MB, fmt_rate
+from repro.util.units import GB, fmt_rate
 
 
 def run_fig2(

@@ -41,8 +41,6 @@ def sparkline(series: TimeSeries, width: int = 60) -> str:
     t0, t1 = series.times[0], series.times[-1]
     if t1 <= t0:
         return "(single sample)"
-    import numpy as np
-
     grid = [t0 + (t1 - t0) * i / (width - 1) for i in range(width)]
     values = [series.value_at(t) for t in grid]
     peak = max(values) or 1.0

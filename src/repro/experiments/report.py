@@ -27,7 +27,7 @@ import time
 from typing import Callable, Dict, Tuple
 
 from repro.experiments.harness import ExperimentResult, format_result
-from repro.util.units import GB, Gbps, KiB, MB, MiB
+from repro.util.units import GB, KiB, MB, MiB
 
 
 def _registry(quick: bool) -> Dict[str, Tuple[str, Callable[[], ExperimentResult]]]:
@@ -41,6 +41,7 @@ def _registry(quick: bool) -> Dict[str, Tuple[str, Callable[[], ExperimentResult
         run_a6_loss,
     )
     from repro.experiments.e12_scec import run_e12_scec
+    from repro.experiments.e13_chaos import run_e13, run_e13_quick
     from repro.experiments.e5_anl_remote import run_e5_anl
     from repro.experiments.e6_deisa import run_e6_deisa
     from repro.experiments.e7_staging_vs_gfs import run_e7
@@ -80,6 +81,7 @@ def _registry(quick: bool) -> Dict[str, Tuple[str, Callable[[], ExperimentResult
             "E12": ("SCEC capacity", lambda: run_e12_scec(
                 ranks=8, scaled_bytes=MB(256), nsd_servers=32,
                 ds4100_count=16)),
+            "E13": ("chaos soak", run_e13_quick),
             "A1": ("block size", lambda: run_a1_blocksize(
                 block_sizes=(KiB(256), MiB(1), MiB(4)), read_bytes=MB(96))),
             "A2": ("server scaling", lambda: run_a2_server_scaling(
@@ -103,6 +105,7 @@ def _registry(quick: bool) -> Dict[str, Tuple[str, Callable[[], ExperimentResult
         "E10": ("HSM", run_e10),
         "E11": ("BG/L", run_e11_bgl),
         "E12": ("SCEC capacity", run_e12_scec),
+        "E13": ("chaos soak", run_e13),
         "A1": ("block size", run_a1_blocksize),
         "A2": ("server scaling", run_a2_server_scaling),
         "A3": ("TCP window", run_a3_window),

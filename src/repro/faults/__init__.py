@@ -1,0 +1,46 @@
+"""Fault injection, failure detection, and self-healing recovery.
+
+The paper's production claim rests on surviving real WAN conditions:
+§6.2's "list of primary and secondary NSD servers" exists because nodes
+die and links brown out, and a TeraGrid-wide 0.5 PB mount only makes
+sense if recovery is automatic. This package supplies the three pieces
+the data path needs for that, plus the scripting to exercise them:
+
+* :class:`FaultSchedule` — a declarative, serializable script of fault
+  actions (node crash/restart, link flap/brownout, WAN loss burst, disk
+  failure with RAID rebuild), executed at simulation time by a
+  :class:`FaultInjector` process;
+* :class:`DiskLeaseDetector` — GPFS-style disk leases: every watched
+  node renews a lease with the filesystem manager; a crashed node stops
+  renewing, its lease expires, and the detector drives
+  ``NsdService.mark_down``/``mark_up`` and token-lease recovery — no
+  manual poking anywhere outside tests;
+* :class:`RetryPolicy` — client-side resilience: per-RPC timeouts and
+  exponential backoff with deterministic seeded jitter, applied by
+  ``NsdService`` when attached.
+
+:class:`FaultHarness` (or :func:`attach_faults`) wires all three onto a
+built filesystem in one call; experiment E13 is the chaos soak that
+exercises the full loop end to end.
+"""
+
+from repro.core.nsd import NsdServerDown, RpcRetriesExhausted
+from repro.faults.detector import DiskLeaseDetector
+from repro.faults.harness import FaultHarness, attach_faults
+from repro.faults.health import NodeHealth
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultAction, FaultSchedule
+
+__all__ = [
+    "DiskLeaseDetector",
+    "FaultAction",
+    "FaultHarness",
+    "FaultInjector",
+    "FaultSchedule",
+    "NodeHealth",
+    "NsdServerDown",
+    "RetryPolicy",
+    "RpcRetriesExhausted",
+    "attach_faults",
+]

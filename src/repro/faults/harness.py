@@ -1,0 +1,139 @@
+"""One-call wiring of the fault subsystem onto a built filesystem.
+
+:class:`FaultHarness` composes the three pieces — ground-truth
+:class:`NodeHealth`, the :class:`DiskLeaseDetector`, and a
+:class:`FaultInjector` replaying a :class:`FaultSchedule` — and attaches
+them to an ``NsdService`` (plus optional client retry policy and token
+managers). Experiments use :func:`attach_faults` so a chaos run differs
+from a nominal run by exactly one call::
+
+    harness = attach_faults(
+        sim, service, engine=engine, network=net, manager_node="nsd00",
+        schedule=FaultSchedule().crash_node(2.0, "nsd01"),
+        retry=RetryPolicy(), retry_rng=rngs.stream("faults.retry"),
+    )
+    ...
+    harness.stop()
+    result.metrics.update(harness.metrics())
+
+With an **empty** schedule the harness is inert on the data path: lease
+heartbeats ride the latency-only message service and the retry wrapper
+adds only zero-delay event hops, so nominal metrics are unchanged — the
+invariance E13's acceptance criteria (and a test) pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.faults.detector import DiskLeaseDetector
+from repro.faults.health import NodeHealth
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.sim.kernel import Event, Simulation
+
+
+class FaultHarness:
+    """Health + lease detector + injector, wired and started together."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        service,
+        manager_node: str,
+        schedule: Optional[FaultSchedule] = None,
+        engine=None,
+        network=None,
+        lease_duration: float = 1.5,
+        renew_interval: Optional[float] = None,
+        check_interval: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_rng=None,
+        token_managers: Iterable = (),
+        arrays: Dict[str, object] | None = None,
+        watch_nodes: Iterable[str] = (),
+    ) -> None:
+        self.sim = sim
+        self.service = service
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.health = NodeHealth(sim)
+        nodes = list(
+            dict.fromkeys(
+                [srv.node for srv in service.servers.values()]
+                + [b.node for bl in service.backup_servers.values() for b in bl]
+                + list(watch_nodes)
+            )
+        )
+        self.detector = DiskLeaseDetector(
+            sim,
+            service,
+            self.health,
+            manager_node,
+            nodes,
+            lease_duration=lease_duration,
+            renew_interval=renew_interval,
+            check_interval=check_interval,
+            token_managers=token_managers,
+        )
+        self.injector = FaultInjector(
+            sim,
+            self.schedule,
+            health=self.health,
+            network=network,
+            engine=engine,
+            arrays=arrays,
+        )
+        self.retry = retry
+        self._retry_rng = retry_rng
+        self.token_managers = list(token_managers)
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FaultHarness":
+        if self._started:
+            raise RuntimeError("harness already started")
+        self._started = True
+        self.service.attach_health(self.health)
+        if self.retry is not None:
+            self.service.attach_retry(self.retry, rng=self._retry_rng)
+        for tm in self.token_managers:
+            tm.failure_detector = self.detector
+        self.detector.start()
+        self.injector.start()
+        return self
+
+    def stop(self) -> None:
+        """Tear down the background processes (end of measurement)."""
+        self.detector.stop()
+        self.injector.stop()
+
+    # -- conveniences --------------------------------------------------------
+
+    def declared_dead(self, node: str) -> Event:
+        return self.detector.declared_dead(node)
+
+    @property
+    def schedule_done(self) -> bool:
+        return self.injector.done
+
+    def metrics(self) -> Dict[str, float]:
+        out = self.detector.metrics()
+        out["failovers"] = float(self.service.failovers)
+        out["rpc_retries"] = float(getattr(self.service, "retries", 0))
+        out["rpc_timeouts"] = float(getattr(self.service, "rpc_timeouts", 0))
+        out["faults_injected"] = float(len(self.injector.log))
+        dead_releases = sum(
+            getattr(tm, "dead_holder_releases", 0) for tm in self.token_managers
+        )
+        if self.token_managers:
+            out["dead_holder_releases"] = float(dead_releases)
+        return out
+
+
+def attach_faults(
+    sim: Simulation, service, manager_node: str, **kwargs
+) -> FaultHarness:
+    """Build and start a :class:`FaultHarness` in one call."""
+    return FaultHarness(sim, service, manager_node, **kwargs).start()

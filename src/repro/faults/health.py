@@ -1,0 +1,57 @@
+"""Ground-truth node liveness, separate from *detected* liveness.
+
+The injector flips nodes here instantly; nothing on the data path reads
+this directly except the machinery that models a dead machine (an RPC
+parked on a crashed server, a heartbeat process that has stopped
+renewing). Detected state lives in ``NsdService.down_nodes`` and is only
+ever set by the lease detector — the gap between the two is exactly the
+detection latency E13 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.kernel import Event, Simulation
+
+
+class NodeHealth:
+    """Tracks which nodes are actually up, and when they crashed."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self._down: Dict[str, float] = {}  # node -> crash sim-time
+        self._restart_waiters: Dict[str, List[Event]] = {}
+
+    def is_up(self, node: str) -> bool:
+        return node not in self._down
+
+    def crash_time(self, node: str) -> float | None:
+        """Sim time at which ``node`` crashed, or None if it is up."""
+        return self._down.get(node)
+
+    def crash(self, node: str) -> None:
+        if node in self._down:
+            raise RuntimeError(f"node {node!r} is already down")
+        self._down[node] = self.sim.now
+
+    def restore(self, node: str) -> None:
+        if node not in self._down:
+            raise RuntimeError(f"node {node!r} is not down")
+        del self._down[node]
+        for event in self._restart_waiters.pop(node, []):
+            if not event.triggered:
+                event.succeed(node)
+
+    def wait_restart(self, node: str) -> Event:
+        """Event that fires when ``node`` next comes back up.
+
+        If the node is currently up the event fires immediately (callers
+        race it against other conditions via ``any_of``).
+        """
+        event = Event(self.sim)
+        if node not in self._down:
+            event.succeed(node)
+        else:
+            self._restart_waiters.setdefault(node, []).append(event)
+        return event

@@ -1,0 +1,206 @@
+"""Executes a :class:`FaultSchedule` against a live simulation.
+
+One sim process walks the schedule in time order and applies each action:
+
+* ``node_crash`` / ``node_restart`` flip ground truth in
+  :class:`~repro.faults.health.NodeHealth` — nothing else; *detecting*
+  the crash is the lease detector's job;
+* ``link_down`` / ``link_brownout`` / ``link_restore`` drive
+  ``Link.set_rate`` (which now auto-pokes the flow engine), remembering
+  original capacities so restores are exact;
+* ``loss_burst`` / ``loss_clear`` swap the flow engine's default TCP
+  model for a lossier one — new flows created during the burst carry the
+  Mathis loss cap;
+* ``disk_fail`` kills a drive via ``StorageArray.fail_disk`` and, while
+  the RAID set rebuilds, streams reconstruction traffic through the
+  owning controller so co-hosted LUNs feel the bandwidth steal.
+
+Every applied action emits a ``fault.<kind>`` trace instant, so a
+Perfetto timeline shows injections, detections, and recoveries on one
+clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.faults.schedule import FaultAction, FaultSchedule
+from repro.sim.kernel import Interrupt, Process, Simulation
+from repro.sim.trace import TRACE
+from repro.storage.raid import RaidState
+
+#: Residual capacity of an administratively-down link, bytes/s. The fluid
+#: engine needs a positive rate; 1 B/s starves flows for any practical
+#: purpose while keeping the solver well-posed.
+DOWN_RATE = 1.0
+
+
+class FaultInjector:
+    """Replays a schedule: node, link, WAN-loss, and disk faults."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        schedule: FaultSchedule,
+        health=None,
+        network=None,
+        engine=None,
+        arrays: Dict[str, object] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.schedule = schedule
+        self.health = health
+        self.network = network
+        self.engine = engine
+        self.arrays = dict(arrays or {})
+        self._orig_rate: Dict[str, float] = {}  # link name -> pre-fault rate
+        self._saved_tcp = None
+        self._proc: Process | None = None
+        #: (sim time, kind, target) for each action applied.
+        self.log: List[Tuple[float, str, str]] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Process:
+        """Validate targets, then spawn the replay process."""
+        if self._proc is not None:
+            raise RuntimeError("injector already started")
+        self._validate()
+        self._proc = self.sim.process(self._run(), name="fault-injector")
+        return self._proc
+
+    @property
+    def done(self) -> bool:
+        return self._proc is not None and self._proc.triggered
+
+    def stop(self) -> None:
+        if self._proc is not None and not self._proc.triggered:
+            self._proc.interrupt("injector stopped")
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        """Fail at start(), not mid-run, when a target cannot resolve."""
+        for action in self.schedule:
+            kind = action.kind
+            if kind in ("node_crash", "node_restart"):
+                if self.health is None:
+                    raise ValueError(f"{kind} requires a NodeHealth")
+            elif kind in ("link_down", "link_brownout", "link_restore"):
+                if self.network is None:
+                    raise ValueError(f"{kind} requires a Network")
+                if not self._resolve_links(action.target):
+                    raise ValueError(f"no link matching {action.target!r}")
+            elif kind in ("loss_burst", "loss_clear"):
+                if self.engine is None:
+                    raise ValueError(f"{kind} requires a FlowEngine")
+            elif kind == "disk_fail":
+                if action.target not in self.arrays:
+                    raise ValueError(
+                        f"unknown storage array {action.target!r}; "
+                        f"known: {sorted(self.arrays)}"
+                    )
+
+    def _resolve_links(self, target: str) -> list:
+        """Exact link name, or ``a<->b`` for both directions of a pair."""
+        if "<->" in target:
+            a, b = target.split("<->", 1)
+            wanted = {f"{a}->{b}", f"{b}->{a}"}
+            return [l for l in self.network.links if l.name in wanted]
+        return [l for l in self.network.links if l.name == target]
+
+    # -- the replay process --------------------------------------------------
+
+    def _run(self):
+        try:
+            for action in self.schedule.ordered():
+                delay = action.at - self.sim.now
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                self._apply(action)
+        except Interrupt:
+            return
+
+    def _apply(self, action: FaultAction) -> None:
+        getattr(self, f"_do_{action.kind}")(action)
+        self.log.append((self.sim.now, action.kind, action.target))
+        if TRACE.enabled:
+            TRACE.instant(
+                self.sim, f"fault.{action.kind}", cat="fault.inject",
+                lane="faults", target=action.target, **dict(action.params),
+            )
+
+    # -- node faults ---------------------------------------------------------
+
+    def _do_node_crash(self, action: FaultAction) -> None:
+        self.health.crash(action.target)
+
+    def _do_node_restart(self, action: FaultAction) -> None:
+        self.health.restore(action.target)
+
+    # -- link faults ---------------------------------------------------------
+
+    def _do_link_down(self, action: FaultAction) -> None:
+        for link in self._resolve_links(action.target):
+            self._orig_rate.setdefault(link.name, link.rate)
+            link.set_rate(DOWN_RATE)
+
+    def _do_link_brownout(self, action: FaultAction) -> None:
+        factor = float(action.params["factor"])
+        for link in self._resolve_links(action.target):
+            orig = self._orig_rate.setdefault(link.name, link.rate)
+            link.set_rate(orig * factor)
+
+    def _do_link_restore(self, action: FaultAction) -> None:
+        for link in self._resolve_links(action.target):
+            orig = self._orig_rate.pop(link.name, None)
+            if orig is None:
+                raise RuntimeError(f"link {link.name} was never degraded")
+            link.set_rate(orig)
+
+    # -- WAN loss ------------------------------------------------------------
+
+    def _do_loss_burst(self, action: FaultAction) -> None:
+        if self._saved_tcp is not None:
+            raise RuntimeError("overlapping loss bursts are not supported")
+        loss = float(action.params["loss"])
+        self._saved_tcp = self.engine.default_tcp
+        self.engine.default_tcp = replace(
+            self._saved_tcp, loss=max(self._saved_tcp.loss, loss)
+        )
+
+    def _do_loss_clear(self, action: FaultAction) -> None:
+        if self._saved_tcp is None:
+            raise RuntimeError("loss_clear without a preceding loss_burst")
+        self.engine.default_tcp = self._saved_tcp
+        self._saved_tcp = None
+
+    # -- disk faults ---------------------------------------------------------
+
+    def _do_disk_fail(self, action: FaultAction) -> None:
+        array = self.arrays[action.target]
+        lun_index = int(action.params.get("lun", 0))
+        lun = array.luns[lun_index]
+        array.fail_disk(lun_index)
+        if lun.raid.state is RaidState.REBUILDING:
+            self.sim.process(
+                self._rebuild_traffic(lun), name=f"rebuild:{lun.name}"
+            )
+
+    def _rebuild_traffic(self, lun):
+        """Reconstruction writes through the owning controller.
+
+        ``RaidSet.rebuild`` models spindle time; the *front-end* cost —
+        rebuild data moving through the shared controller, stealing
+        bandwidth from co-hosted LUNs — is charged here in 0.25 s chunks
+        while the set is rebuilding.
+        """
+        chunk_interval = 0.25
+        chunk = lun.raid.rebuild_rate * chunk_interval
+        while lun.raid.state is RaidState.REBUILDING:
+            start = self.sim.now
+            yield lun.controller.transfer("write", chunk)
+            spent = self.sim.now - start
+            if spent < chunk_interval:
+                yield self.sim.timeout(chunk_interval - spent)

@@ -1,0 +1,54 @@
+"""Client-side RPC resilience policy.
+
+A frozen value object: the NSD layer consults it for per-RPC timeouts
+and backoff delays but all state (attempt counters, RNG stream) lives
+with the caller, so one policy can be shared by every client. Jitter is
+drawn from a named, seeded RNG stream which keeps chaos runs
+bit-reproducible — the whole point of E13's determinism check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/backoff parameters for NSD block RPCs.
+
+    Defaults are sized for the SDSC testbed: a healthy WAN block op
+    completes in well under 0.75 s even with a RAID rebuild stealing
+    controller bandwidth, and twelve attempts with capped exponential
+    backoff give a total retry budget (~17 s) far beyond any lease
+    expiry, so a surviving replica is always found before exhaustion.
+    """
+
+    rpc_timeout: float = 0.75
+    max_attempts: int = 12
+    backoff_base: float = 0.1
+    backoff_cap: float = 1.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rpc_timeout <= 0:
+            raise ValueError(f"rpc_timeout must be positive, got {self.rpc_timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"need 0 <= backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+
+    def backoff_delay(self, attempt: int, rng) -> float:
+        """Delay before retry number ``attempt`` (1-based), with jitter.
+
+        ``rng`` is a numpy Generator (e.g. ``RngRegistry.stream("faults.retry")``);
+        pass None for deterministic zero-jitter delays.
+        """
+        base = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        if rng is None or self.jitter == 0:
+            return base
+        return base * (1.0 + self.jitter * float(rng.random()))

@@ -1,0 +1,177 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is data, not behaviour: an ordered list of
+:class:`FaultAction` records ("at t=2.0 crash nsd01", "at t=5.0 run
+chi-hub->anl-sw at 2% capacity"), built with fluent helpers and executed
+by :class:`repro.faults.injector.FaultInjector`. Keeping schedules
+declarative keeps chaos runs reproducible and serializable — E13 can
+print its schedule next to its metrics, and two runs of the same
+schedule on the same seed are bit-for-bit identical.
+
+Helpers that describe a fault *window* (``flap_link``, ``brownout_link``,
+``loss_burst``) expand into an explicit start action and an explicit
+restore action, so the injector stays a dumb, deterministic replayer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping
+
+#: Action kinds the injector knows how to apply.
+KINDS = frozenset(
+    {
+        "node_crash",
+        "node_restart",
+        "link_down",
+        "link_brownout",
+        "link_restore",
+        "loss_burst",
+        "loss_clear",
+        "disk_fail",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: when, what, to whom, with what parameters."""
+
+    at: float
+    kind: str
+    target: str
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at}")
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(KINDS)}"
+            )
+        if not self.target:
+            raise ValueError("fault target must be non-empty")
+
+    def to_dict(self) -> Dict:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "target": self.target,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "FaultAction":
+        return cls(
+            at=float(doc["at"]),
+            kind=str(doc["kind"]),
+            target=str(doc["target"]),
+            params=dict(doc.get("params", {})),
+        )
+
+
+class FaultSchedule:
+    """An ordered script of :class:`FaultAction` records.
+
+    Fluent builders return ``self`` so schedules read as one expression::
+
+        FaultSchedule().crash_node(2.0, "nsd01").restart_node(8.0, "nsd01")
+    """
+
+    def __init__(self, actions: Iterable[FaultAction] = ()) -> None:
+        self._actions: List[FaultAction] = list(actions)
+
+    # -- builders -------------------------------------------------------------
+
+    def add(self, action: FaultAction) -> "FaultSchedule":
+        if not isinstance(action, FaultAction):
+            raise TypeError(f"expected a FaultAction, got {type(action).__name__}")
+        self._actions.append(action)
+        return self
+
+    def crash_node(self, at: float, node: str) -> "FaultSchedule":
+        """Kill ``node`` at ``at``: it stops answering RPCs and renewing
+        its disk lease; only the lease detector may declare it down."""
+        return self.add(FaultAction(at, "node_crash", node))
+
+    def restart_node(self, at: float, node: str) -> "FaultSchedule":
+        """Bring a crashed ``node`` back; its next lease renewal marks it up."""
+        return self.add(FaultAction(at, "node_restart", node))
+
+    def flap_link(self, at: float, link: str, down_for: float) -> "FaultSchedule":
+        """Take ``link`` administratively down for ``down_for`` seconds."""
+        if down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {down_for}")
+        self.add(FaultAction(at, "link_down", link))
+        return self.add(FaultAction(at + down_for, "link_restore", link))
+
+    def brownout_link(
+        self,
+        at: float,
+        link: str,
+        factor: float,
+        duration: float | None = None,
+    ) -> "FaultSchedule":
+        """Run ``link`` at ``factor`` of its capacity (optionally restoring
+        after ``duration`` seconds)."""
+        if not 0 < factor < 1:
+            raise ValueError(f"brownout factor must be in (0, 1), got {factor}")
+        self.add(FaultAction(at, "link_brownout", link, {"factor": factor}))
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError(f"duration must be positive, got {duration}")
+            self.add(FaultAction(at + duration, "link_restore", link))
+        return self
+
+    def loss_burst(self, at: float, loss: float, duration: float) -> "FaultSchedule":
+        """Raise the engine's default TCP loss rate to ``loss`` for
+        ``duration`` seconds (flows *created* during the burst carry the
+        lossy Mathis cap — matching how a real burst punishes new
+        connections hardest)."""
+        if not 0 < loss < 1:
+            raise ValueError(f"loss must be in (0, 1), got {loss}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.add(FaultAction(at, "loss_burst", "default", {"loss": loss}))
+        return self.add(FaultAction(at + duration, "loss_clear", "default"))
+
+    def fail_disk(self, at: float, array: str, lun: int = 0) -> "FaultSchedule":
+        """Kill one drive in ``array``'s ``lun``-th RAID set; a hot spare
+        (when available) triggers a background rebuild whose traffic
+        steals controller bandwidth."""
+        if lun < 0:
+            raise ValueError(f"lun index must be non-negative, got {lun}")
+        return self.add(FaultAction(at, "disk_fail", array, {"lun": lun}))
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return not self._actions
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last scheduled action (0.0 when empty)."""
+        return max((a.at for a in self._actions), default=0.0)
+
+    def ordered(self) -> List[FaultAction]:
+        """Actions in firing order (time, then insertion order)."""
+        return sorted(self._actions, key=lambda a: a.at)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[FaultAction]:
+        return iter(self._actions)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict]:
+        return [a.to_dict() for a in self._actions]
+
+    @classmethod
+    def from_dicts(cls, docs: Iterable[Mapping]) -> "FaultSchedule":
+        return cls(FaultAction.from_dict(d) for d in docs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultSchedule {len(self._actions)} actions>"

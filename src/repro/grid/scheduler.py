@@ -11,9 +11,9 @@ reproduces that exclusion effect for the E7 experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, List
 
-from repro.sim.kernel import Event, Simulation
+from repro.sim.kernel import Simulation
 from repro.sim.resources import Container, Resource
 
 

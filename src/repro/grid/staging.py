@@ -18,11 +18,10 @@ GFS (paying WAN latency per miss), write output directly back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.grid.gridftp import GridFtp
 from repro.grid.scheduler import GurScheduler, ReservationError
-from repro.net.flow import FlowEngine
 from repro.sim.kernel import Event, Simulation
 
 

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from repro.core.client import MountedFs
-from repro.core.inode import Inode
 from repro.hsm.tape import TapeLibrary
 from repro.sim.kernel import Event
 

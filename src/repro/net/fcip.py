@@ -14,7 +14,6 @@ We model a tunnel as a pair of WAN links whose
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.net.link import Link
 from repro.net.topology import Network

@@ -179,6 +179,7 @@ class FlowEngine:
         self._recompute_pending = False
         self._timer_token = 0
         self._next_seq = 0
+        network.subscribe_rate_changes(self._on_link_rate_change)
 
     # -- public API -----------------------------------------------------------
 
@@ -263,13 +264,29 @@ class FlowEngine:
             return 0.0
         return self._state.rate_of(flow.col)
 
+    def _on_link_rate_change(self, link, old_rate: float) -> None:
+        """Network hook: a ``Link.set_rate`` schedules a recompute now.
+
+        Capacity changes therefore bind at the current sim instant with no
+        caller-side poke; the instant makes brownouts/flaps visible in
+        Perfetto traces at the right time.
+        """
+        if TRACE.enabled:
+            TRACE.instant(
+                self.sim, "link.set_rate", cat="net.link",
+                lane=f"link:{link.name}", link=link.name,
+                old_rate=old_rate, rate=link.rate,
+            )
+        self._mark_dirty()
+
     def poke(self) -> None:
         """Force a rate recompute at the current instant.
 
-        Use after mutating link capacities (`Link.set_rate`) so active
-        flows see the change immediately instead of at their next natural
-        arrival/departure. Only components containing a changed link are
-        actually re-solved.
+        Rarely needed: `Link.set_rate` already schedules a recompute via
+        the network's rate-change hook. Kept for exotic mutations (e.g.
+        editing `Link.efficiency` directly) and as a harmless no-op after
+        set_rate — recomputes at one instant are coalesced. Only
+        components containing a changed link are actually re-solved.
         """
         self._mark_dirty()
 

@@ -15,7 +15,8 @@ from typing import Optional
 class Link:
     """One direction of a network link."""
 
-    __slots__ = ("name", "src", "dst", "rate", "delay", "efficiency", "index")
+    __slots__ = ("name", "src", "dst", "rate", "delay", "efficiency", "index",
+                 "on_rate_change")
 
     def __init__(
         self,
@@ -40,6 +41,9 @@ class Link:
         self.name = name or f"{src}->{dst}"
         #: Index into the engine's capacity vector; assigned by Network.
         self.index: int = -1
+        #: Callback ``fn(link, old_rate)`` fired by set_rate; assigned by
+        #: Network so capacity changes propagate to the flow engine.
+        self.on_rate_change = None
 
     @property
     def usable_rate(self) -> float:
@@ -49,13 +53,17 @@ class Link:
     def set_rate(self, rate: float) -> None:
         """Change the link's capacity (brownout / upgrade / failover).
 
-        Active flows adapt at the flow engine's next recompute — callers
-        that need the change to take effect immediately should touch the
-        flow set (the engine re-reads capacities on every solve).
+        When the link belongs to a :class:`~repro.net.topology.Network`
+        with a flow engine attached, the change takes effect at the
+        current sim instant: the engine is notified and schedules a
+        recompute, so active flows adapt without any caller-side poke.
         """
         if rate <= 0:
             raise ValueError(f"link rate must be positive, got {rate}")
+        old = self.rate
         self.rate = float(rate)
+        if self.rate != old and self.on_rate_change is not None:
+            self.on_rate_change(self, old)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Link {self.name} {self.rate:.3g} B/s delay={self.delay}>"

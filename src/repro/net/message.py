@@ -9,7 +9,6 @@ multi-cluster protocol pays it (mount handshakes, lock revocations).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.net.topology import Network
 from repro.sim.kernel import Event, Simulation

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.link import Link
 
@@ -40,6 +40,7 @@ class Network:
         self.links: List[Link] = []
         self._adj: Dict[str, List[Link]] = {}
         self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._rate_listeners: List = []
 
     # -- construction --------------------------------------------------------
 
@@ -80,8 +81,17 @@ class Network:
 
     def _register(self, link: Link) -> None:
         link.index = len(self.links)
+        link.on_rate_change = self._rate_changed
         self.links.append(link)
         self._adj[link.src].append(link)
+
+    def subscribe_rate_changes(self, fn) -> None:
+        """Register ``fn(link, old_rate)`` to run after any set_rate."""
+        self._rate_listeners.append(fn)
+
+    def _rate_changed(self, link: Link, old_rate: float) -> None:
+        for fn in self._rate_listeners:
+            fn(link, old_rate)
 
     def add_host(
         self,

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from repro.sim.kernel import Event, Simulation, SimulationError
 

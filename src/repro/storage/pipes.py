@@ -10,7 +10,7 @@ balanced-configuration arithmetic the paper applies to its NSD servers
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.sim.kernel import Event, Simulation
 from repro.sim.resources import Resource

@@ -14,7 +14,7 @@ needed (the builder reflects that).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.client import MountedFs

@@ -27,7 +27,7 @@ from repro.storage.array import StorageArray
 from repro.storage.controller import ControllerSpec
 from repro.storage.disk import FC_2005
 from repro.util.timeseries import RateMeter
-from repro.util.units import GB, Gbps, MB, MiB
+from repro.util.units import GB, MB, MiB
 
 #: One-way SDSC → Baltimore propagation delay (measured 80 ms RTT).
 ONE_WAY_DELAY = 0.040

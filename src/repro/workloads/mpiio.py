@@ -9,7 +9,7 @@ GPFS is designed to make scale.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import List
 
 from repro.sim.kernel import Event
 from repro.util.units import MiB

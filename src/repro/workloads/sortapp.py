@@ -10,7 +10,7 @@ Fig 8 trace).
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator
 
 from repro.sim.kernel import Event
 from repro.workloads.base import WorkloadResult, payload_for

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.auth.rsa import (
-    RsaKeyPair,
     _modinv,
     generate_keypair,
     is_probable_prime,

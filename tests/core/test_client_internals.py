@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.tokens import RO, RW
+from repro.core.tokens import RW
 
 from tests.core.testbed import mounted, run_io, small_gfs
 

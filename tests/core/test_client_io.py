@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.client import Identity
 from repro.core.namespace import NoSuchFile, PermissionDenied
-from repro.util.units import KiB
 
 from tests.core.testbed import mounted, run_io, small_gfs
 

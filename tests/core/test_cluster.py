@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core.cluster import ClusterError, Gfs, NsdSpec
-from repro.util.units import Gbps, KiB, MiB
+from repro.util.units import Gbps, KiB
 
-from tests.core.testbed import mounted, run_io, small_gfs
+from tests.core.testbed import mounted, small_gfs
 
 
 class TestGfs:

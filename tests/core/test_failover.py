@@ -54,6 +54,29 @@ class TestNsdFailover:
         g, cluster, fs, _ = small_gfs(nsd_servers=1)
         assert fs.service.backup_servers == {}
 
+    def test_failovers_count_transitions_not_block_ops(self):
+        # Routing N blocks to the backup is ONE failover, not N.
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        fs.service.mark_down("nsd0")
+        for _ in range(5):
+            fs.service.server_of(0)
+        assert fs.service.failovers == 1
+        assert len(fs.service.failover_events) == 1
+        t, nsd_id, from_node, to_node = fs.service.failover_events[0]
+        assert (nsd_id, from_node) == (0, "nsd0")
+        assert to_node != "nsd0"
+
+    def test_failback_not_counted(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        fs.service.mark_down("nsd0")
+        fs.service.server_of(0)
+        fs.service.mark_up("nsd0")
+        fs.service.server_of(0)  # back on the primary: not a failover
+        assert fs.service.failovers == 1
+        fs.service.mark_down("nsd0")
+        fs.service.server_of(0)  # a second genuine transition
+        assert fs.service.failovers == 2
+
 
 class TestConfigServers:
     def test_primary_and_secondary(self):

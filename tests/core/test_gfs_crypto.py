@@ -1,6 +1,5 @@
 """Unit tests for Gfs.pair_cipher / crypto pipe plumbing."""
 
-import pytest
 
 from repro.core.cluster import Gfs
 from repro.util.units import Gbps

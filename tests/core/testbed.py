@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.cluster import Gfs, NsdSpec
-from repro.util.units import Gbps, KiB, MiB
+from repro.util.units import Gbps, KiB
 
 
 def small_gfs(

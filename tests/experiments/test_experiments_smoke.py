@@ -5,7 +5,6 @@ The full-size runs live in benchmarks/; these keep the harness code under
 unit-test coverage at a few seconds each.
 """
 
-import pytest
 
 from repro.experiments.ablations import run_a1_blocksize, run_a2_server_scaling, run_a3_window
 from repro.experiments.e5_anl_remote import run_e5_anl

@@ -1,0 +1,158 @@
+"""Tests for the disk-lease failure detector."""
+
+import pytest
+
+from repro.faults import DiskLeaseDetector, NodeHealth
+
+from tests.core.testbed import small_gfs
+
+LEASE = 1.0
+
+
+def make(lease=LEASE, nodes=("nsd1", "nsd2"), **kw):
+    g, cluster, fs, _ = small_gfs(nsd_servers=4)
+    health = NodeHealth(g.sim)
+    det = DiskLeaseDetector(
+        g.sim, fs.service, health, manager_node="nsd0",
+        nodes=nodes, lease_duration=lease, **kw,
+    )
+    det.start()
+    return g, fs, health, det
+
+
+def run_for(g, seconds):
+    g.run(until=g.sim.timeout(seconds))
+
+
+class TestLeaseLifecycle:
+    def test_healthy_nodes_are_never_declared(self):
+        g, fs, health, det = make()
+        run_for(g, 5.0)
+        assert det.detections == []
+        assert fs.service.down_nodes == set()
+        assert det.renewals > 0  # heartbeats flowed the whole time
+
+    def test_crash_detected_within_lease_plus_check(self):
+        g, fs, health, det = make()
+        run_for(g, 1.0)
+        health.crash("nsd1")
+        t_crash = g.sim.now
+        g.run(until=det.declared_dead("nsd1"))
+        latency = g.sim.now - t_crash
+        assert 0 < latency <= LEASE + det.check_interval + 1e-9
+        assert "nsd1" in fs.service.down_nodes
+        assert det.detections and det.detections[0][0] == "nsd1"
+        assert det.detection_latencies() == [pytest.approx(latency)]
+
+    def test_restart_marks_up_and_records_recovery(self):
+        g, fs, health, det = make()
+        run_for(g, 1.0)
+        health.crash("nsd1")
+        t_crash = g.sim.now
+        g.run(until=det.declared_dead("nsd1"))
+        run_for(g, 0.5)
+        health.restore("nsd1")
+        # First renewal goes out immediately on restart: one message latency.
+        run_for(g, 0.1)
+        assert "nsd1" not in fs.service.down_nodes
+        assert det.detected_down == set()
+        (node, crash, detected, recovered) = det.recoveries[0]
+        assert node == "nsd1"
+        assert crash == pytest.approx(t_crash)
+        assert detected < recovered
+        assert det.mttr_values()[0] == pytest.approx(recovered - t_crash)
+
+    def test_restart_before_expiry_is_never_declared(self):
+        # A blip shorter than the lease goes completely unnoticed.
+        g, fs, health, det = make()
+        run_for(g, 1.0)
+        health.crash("nsd1")
+        run_for(g, 0.2)
+        health.restore("nsd1")
+        run_for(g, 3.0)
+        assert det.detections == []
+        assert fs.service.down_nodes == set()
+
+    def test_declared_dead_fires_immediately_when_already_dead(self):
+        g, fs, health, det = make()
+        health.crash("nsd1")
+        g.run(until=det.declared_dead("nsd1"))
+        evt = det.declared_dead("nsd1")
+        assert evt.triggered
+
+    def test_metrics_shape(self):
+        g, fs, health, det = make()
+        health.crash("nsd1")
+        g.run(until=det.declared_dead("nsd1"))
+        m = det.metrics()
+        assert m["failures_detected"] == 1.0
+        assert m["lease_duration"] == LEASE
+        assert "detection_latency_mean" in m
+        assert "mttr_mean" not in m  # no recovery yet
+
+    def test_stop_halts_heartbeats(self):
+        g, fs, health, det = make()
+        run_for(g, 2.0)
+        det.stop()
+        seen = det.renewals
+        run_for(g, 3.0)
+        assert det.renewals == seen
+
+
+class TestValidation:
+    def test_bad_lease(self):
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ValueError):
+            DiskLeaseDetector(
+                g.sim, fs.service, NodeHealth(g.sim), "nsd0",
+                nodes=["nsd1"], lease_duration=0.0,
+            )
+
+    def test_renew_must_fit_inside_lease(self):
+        g, cluster, fs, _ = small_gfs()
+        with pytest.raises(ValueError):
+            DiskLeaseDetector(
+                g.sim, fs.service, NodeHealth(g.sim), "nsd0",
+                nodes=["nsd1"], lease_duration=1.0, renew_interval=1.5,
+            )
+
+    def test_double_start_rejected(self):
+        g, fs, health, det = make()
+        with pytest.raises(RuntimeError):
+            det.start()
+
+
+class TestNodeHealth:
+    def test_crash_restore_cycle(self):
+        g, cluster, fs, _ = small_gfs()
+        health = NodeHealth(g.sim)
+        assert health.is_up("n")
+        health.crash("n")
+        assert not health.is_up("n")
+        assert health.crash_time("n") == g.sim.now
+        health.restore("n")
+        assert health.is_up("n")
+
+    def test_double_crash_rejected(self):
+        g, cluster, fs, _ = small_gfs()
+        health = NodeHealth(g.sim)
+        health.crash("n")
+        with pytest.raises(RuntimeError):
+            health.crash("n")
+        health.restore("n")
+        with pytest.raises(RuntimeError):
+            health.restore("n")
+
+    def test_wait_restart_fires_on_restore(self):
+        g, cluster, fs, _ = small_gfs()
+        health = NodeHealth(g.sim)
+        health.crash("n")
+        evt = health.wait_restart("n")
+        assert not evt.triggered
+        health.restore("n")
+        assert evt.triggered
+
+    def test_wait_restart_immediate_when_up(self):
+        g, cluster, fs, _ = small_gfs()
+        health = NodeHealth(g.sim)
+        assert health.wait_restart("n").triggered

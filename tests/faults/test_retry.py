@@ -1,0 +1,61 @@
+"""Tests for the RPC retry policy and its deterministic jitter."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.sim.rand import RngRegistry
+
+
+class TestValidation:
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(rpc_timeout=0)
+
+    def test_bad_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_cap_below_base(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=1.0, backoff_cap=0.5)
+
+    def test_negative_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestBackoff:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=1.0, jitter=0.0)
+        delays = [policy.backoff_delay(a, None) for a in range(1, 8)]
+        assert delays[:4] == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.8),
+        ]
+        assert all(d == pytest.approx(1.0) for d in delays[4:])
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(jitter=0.25)
+        rng = RngRegistry(3).stream("faults.retry")
+        for attempt in range(1, 10):
+            base = policy.backoff_delay(attempt, None)
+            jittered = policy.backoff_delay(attempt, rng)
+            assert base <= jittered <= base * 1.25
+
+    def test_same_seed_same_delays(self):
+        policy = RetryPolicy()
+        a = RngRegistry(7).stream("faults.retry")
+        b = RngRegistry(7).stream("faults.retry")
+        seq_a = [policy.backoff_delay(i, a) for i in range(1, 20)]
+        seq_b = [policy.backoff_delay(i, b) for i in range(1, 20)]
+        assert seq_a == seq_b
+
+    def test_different_seed_different_delays(self):
+        policy = RetryPolicy()
+        a = RngRegistry(7).stream("faults.retry")
+        b = RngRegistry(8).stream("faults.retry")
+        seq_a = [policy.backoff_delay(i, a) for i in range(1, 20)]
+        seq_b = [policy.backoff_delay(i, b) for i in range(1, 20)]
+        assert seq_a != seq_b

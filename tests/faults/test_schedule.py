@@ -1,0 +1,89 @@
+"""Tests for the declarative FaultSchedule / FaultAction layer."""
+
+import pytest
+
+from repro.faults import FaultAction, FaultSchedule
+
+
+class TestFaultAction:
+    def test_valid_kinds_only(self):
+        with pytest.raises(ValueError):
+            FaultAction(at=1.0, kind="meteor_strike", target="nsd0")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultAction(at=-0.5, kind="node_crash", target="nsd0")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            FaultAction(at=1.0, kind="node_crash", target="")
+
+    def test_round_trip(self):
+        action = FaultAction(
+            at=2.0, kind="link_brownout", target="a->b", params={"factor": 0.5}
+        )
+        again = FaultAction.from_dict(action.to_dict())
+        assert again.at == action.at
+        assert again.kind == action.kind
+        assert again.target == action.target
+        assert dict(again.params) == {"factor": 0.5}
+
+
+class TestFaultSchedule:
+    def test_empty(self):
+        s = FaultSchedule()
+        assert s.empty
+        assert len(s) == 0
+        assert s.end_time == 0.0
+
+    def test_builders_chain(self):
+        s = (
+            FaultSchedule()
+            .crash_node(1.0, "nsd1")
+            .restart_node(3.0, "nsd1")
+        )
+        assert len(s) == 2
+        assert [a.kind for a in s.ordered()] == ["node_crash", "node_restart"]
+        assert s.end_time == 3.0
+
+    def test_flap_expands_to_down_and_restore(self):
+        s = FaultSchedule().flap_link(1.0, "a->b", down_for=0.5)
+        kinds = [(a.at, a.kind) for a in s.ordered()]
+        assert kinds == [(1.0, "link_down"), (1.5, "link_restore")]
+
+    def test_brownout_with_duration_expands_restore(self):
+        s = FaultSchedule().brownout_link(2.0, "a->b", factor=0.25, duration=1.0)
+        kinds = [(a.at, a.kind) for a in s.ordered()]
+        assert kinds == [(2.0, "link_brownout"), (3.0, "link_restore")]
+        assert s.ordered()[0].params["factor"] == 0.25
+
+    def test_brownout_factor_validated(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().brownout_link(1.0, "a->b", factor=1.5)
+        with pytest.raises(ValueError):
+            FaultSchedule().brownout_link(1.0, "a->b", factor=0.0)
+
+    def test_loss_burst_expands_clear(self):
+        s = FaultSchedule().loss_burst(1.0, loss=1e-3, duration=2.0)
+        kinds = [(a.at, a.kind) for a in s.ordered()]
+        assert kinds == [(1.0, "loss_burst"), (3.0, "loss_clear")]
+
+    def test_ordered_is_stable_by_time(self):
+        s = (
+            FaultSchedule()
+            .crash_node(5.0, "late")
+            .crash_node(1.0, "early")
+            .crash_node(1.0, "early2")
+        )
+        assert [a.target for a in s.ordered()] == ["early", "early2", "late"]
+
+    def test_dict_round_trip(self):
+        s = (
+            FaultSchedule()
+            .crash_node(1.0, "nsd1")
+            .fail_disk(4.0, "ds4100-00", lun=2)
+        )
+        again = FaultSchedule.from_dicts(s.to_dicts())
+        assert len(again) == len(s)
+        assert [a.kind for a in again.ordered()] == [a.kind for a in s.ordered()]
+        assert again.ordered()[1].params["lun"] == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.grid import GridFtp, GurScheduler, Reservation, ReservationError, SiteResources
+from repro.grid import GridFtp, GurScheduler, ReservationError, SiteResources
 from repro.net import FlowEngine, MessageService, Network, TcpModel
 from repro.sim import Simulation
 from repro.storage.pipes import Pipe

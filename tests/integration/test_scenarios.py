@@ -2,7 +2,6 @@
 
 import hashlib
 
-import pytest
 
 from repro.core.allocation import OutOfSpaceError
 from repro.core.cluster import Gfs, NsdSpec

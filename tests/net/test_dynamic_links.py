@@ -111,6 +111,21 @@ class TestSetRate:
         assert (pytest.approx(0.5), pytest.approx(MB(25))) in samples
         assert samples[-1] == (pytest.approx(2.5), 0.0)
 
+    def test_set_rate_recomputes_without_poke(self):
+        # Link.set_rate notifies the engine itself; no engine.poke().
+        net, link = line(MB(100))
+        sim = Simulation()
+        engine = FlowEngine(sim, net, default_tcp=TcpModel(window=GB(1)))
+        evt = engine.transfer("a", "b", MB(100))
+
+        def brownout(sim):
+            yield sim.timeout(0.5)
+            link.set_rate(MB(25))
+
+        sim.process(brownout(sim))
+        sim.run(until=evt)
+        assert sim.now == pytest.approx(2.5)
+
     def test_brownout_resolves_only_affected_component(self):
         # Two flows on disjoint links: a brownout on one link must not
         # change (or re-solve) the other flow's component.

@@ -8,7 +8,6 @@ logic, read-modify-write, sparse zero-fill, write-behind flushing, and
 truncate as one system.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

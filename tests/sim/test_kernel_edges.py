@@ -1,9 +1,6 @@
 """Edge cases of the event kernel that the main tests don't reach."""
 
-import pytest
-
-from repro.sim import AnyOf, Interrupt, Simulation, Store
-from repro.sim.kernel import SimulationError
+from repro.sim import Interrupt, Simulation, Store
 
 
 class TestLateFailures:

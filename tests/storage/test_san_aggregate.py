@@ -1,6 +1,5 @@
 """Tests for the SAN fabric's optional aggregate bandwidth cap."""
 
-import pytest
 
 from repro.sim import Simulation
 from repro.storage import Hba, SanFabric, make_ds4100

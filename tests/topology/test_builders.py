@@ -12,7 +12,7 @@ from repro.topology import (
     build_sdsc2005,
 )
 from repro.net.topology import Network
-from repro.util.units import GB, Gbps, TB
+from repro.util.units import Gbps, TB
 
 
 class TestTeragrid:

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.workloads.replay import OPS, TraceOp, TraceReplay, parse_trace
+from repro.workloads.replay import TraceOp, TraceReplay, parse_trace
 
-from tests.core.testbed import mounted, run_io, small_gfs
+from tests.core.testbed import mounted, small_gfs
 
 
 def bed():
