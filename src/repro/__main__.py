@@ -5,6 +5,7 @@ Subcommands::
     python -m repro report [--quick] [--only E1 A3] [--out FILE]
                            [--profile] [--profile-json FILE] [--trace-dir DIR]
     python -m repro run E13 [--quick] [--out FILE]
+    python -m repro run --list
     python -m repro trace E8 --out trace.json [--quick]
     python -m repro info
 
@@ -42,6 +43,16 @@ def _info() -> str:
     return "\n".join(lines)
 
 
+def _experiment_list() -> str:
+    """One line per runnable experiment id, for ``run --list`` and errors."""
+    from repro.experiments.report import _registry
+
+    lines = ["experiments:"]
+    for exp_id, (label, _) in _registry(False).items():
+        lines.append(f"  {exp_id:>4}  {label}")
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -56,7 +67,10 @@ def main(argv=None) -> int:
     run = sub.add_parser(
         "run", help="run one experiment by id (e.g. E13) and print it"
     )
-    run.add_argument("exp_id", metavar="EXP_ID", help="experiment id, e.g. E13")
+    run.add_argument("exp_id", metavar="EXP_ID", nargs="?",
+                     help="experiment id, e.g. E13")
+    run.add_argument("--list", action="store_true", dest="list_ids",
+                     help="list runnable experiment ids and exit")
     run.add_argument("--quick", action="store_true")
     run.add_argument("--out", metavar="FILE")
     trace = sub.add_parser(
@@ -90,8 +104,16 @@ def main(argv=None) -> int:
             forwarded += ["--trace-dir", args.trace_dir]
         return report_main(forwarded)
     if args.command == "run":
+        from repro.experiments.report import _registry
         from repro.experiments.report import main as report_main
 
+        if args.list_ids or args.exp_id is None:
+            print(_experiment_list())
+            return 0
+        if args.exp_id not in _registry(args.quick):
+            print(f"unknown experiment id {args.exp_id!r}\n")
+            print(_experiment_list())
+            return 2
         forwarded = ["--only", args.exp_id]
         if args.quick:
             forwarded.append("--quick")

@@ -7,7 +7,7 @@ per NSD so ``df``-style accounting and ENOSPC behaviour are exact.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 
 class OutOfSpaceError(OSError):
@@ -62,6 +62,23 @@ class AllocationMap:
 
     def alloc_on(self, nsd_id: int) -> int:
         return self._allocator(nsd_id).alloc()
+
+    def alloc_replica_set(self, nsd_ids: "List[int]") -> List[Tuple[int, int]]:
+        """Allocate one physical block on each NSD, all-or-nothing.
+
+        Replication must not leave a block half-placed: if any NSD in the
+        set is full, every allocation already made is rolled back before
+        the ENOSPC propagates.
+        """
+        placed: List[Tuple[int, int]] = []
+        try:
+            for nsd_id in nsd_ids:
+                placed.append((nsd_id, self.alloc_on(nsd_id)))
+        except OutOfSpaceError:
+            for nsd_id, phys in placed:
+                self.free_on(nsd_id, phys)
+            raise
+        return placed
 
     def free_on(self, nsd_id: int, block: int) -> None:
         self._allocator(nsd_id).free(block)

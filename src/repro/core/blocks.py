@@ -2,13 +2,17 @@
 
 GPFS stripes a file's blocks round-robin across the filesystem's disks,
 starting at a per-file rotation offset so that files do not all hammer
-disk 0. All functions here are pure; the data plane builds on them.
+disk 0. With replication enabled each logical block additionally gets
+R-1 extra physical replicas placed in *distinct failure groups* — NSDs
+that do not share a server/controller domain — so one failed domain
+never takes out every copy. All functions here are pure; the data plane
+builds on them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Sequence
 
 
 @dataclass(frozen=True)
@@ -75,3 +79,41 @@ class StripeGeometry:
         """Absolute byte range of a piece: (start, end)."""
         start = piece.block_index * self.block_size + piece.offset
         return start, start + piece.length
+
+
+def replica_slots(
+    primary_slot: int, copies: int, groups: Sequence[int]
+) -> List[int]:
+    """NSD slots for the extra replicas of a block (beyond the primary).
+
+    ``groups[slot]`` is the failure group of the NSD in stripe slot
+    ``slot``. Walking round-robin from the primary keeps replica load
+    balanced the same way striping balances primaries. Replicas land in
+    distinct failure groups first (GPFS's placement rule); when the
+    configuration has fewer groups than copies, distinct slots are
+    accepted as a fallback so small testbeds still replicate.
+    """
+    n = len(groups)
+    if not 0 <= primary_slot < n:
+        raise ValueError(f"primary slot {primary_slot} out of range")
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    if copies > n:
+        raise ValueError(f"cannot place {copies} replicas on {n} NSDs")
+    chosen = [primary_slot]
+    used_groups = {groups[primary_slot]}
+    for step in range(1, n):
+        if len(chosen) == copies:
+            break
+        slot = (primary_slot + step) % n
+        if groups[slot] in used_groups:
+            continue
+        chosen.append(slot)
+        used_groups.add(groups[slot])
+    for step in range(1, n):
+        if len(chosen) == copies:
+            break
+        slot = (primary_slot + step) % n
+        if slot not in chosen:
+            chosen.append(slot)
+    return chosen[1:]

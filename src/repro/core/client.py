@@ -426,14 +426,23 @@ class MountedFs:
                 data = bytes(self.fs.block_size) if self.fs.store_data else None
             else:
                 nsd_id, phys = placed
-                evt = self.fs.service.read_block(
-                    self.node,
-                    nsd_id,
-                    phys,
-                    0,
-                    self.fs.block_size,
-                    tags=self.tags + ("read",),
-                )
+                if self.fs.replication.active:
+                    # Replicated path: cheapest replica, end-to-end verify,
+                    # failover + read-repair on rot (repro.core.replication).
+                    evt = self.fs.integrity.read_block(
+                        self.node,
+                        self.fs.replica_placements(inode, block_index),
+                        tags=self.tags + ("read",),
+                    )
+                else:
+                    evt = self.fs.service.read_block(
+                        self.node,
+                        nsd_id,
+                        phys,
+                        0,
+                        self.fs.block_size,
+                        tags=self.tags + ("read",),
+                    )
                 data = yield evt
                 if not self.fs.store_data:
                     data = None
@@ -474,14 +483,24 @@ class MountedFs:
                 else:
                     payload = hi - lo
                 self.pool.mark_clean(ino, block)  # rewrites re-dirty and re-flush
-                yield self.fs.service.write_block(
-                    self.node,
-                    nsd_id,
-                    phys,
-                    lo,
-                    payload,
-                    tags=self.tags + ("write",),
-                )
+                if self.fs.replication.active:
+                    # Fan out to every replica; completes at the ack quorum.
+                    yield self.fs.integrity.write_block(
+                        self.node,
+                        self.fs.replica_placements(inode, block),
+                        lo,
+                        payload,
+                        tags=self.tags + ("write",),
+                    )
+                else:
+                    yield self.fs.service.write_block(
+                        self.node,
+                        nsd_id,
+                        phys,
+                        lo,
+                        payload,
+                        tags=self.tags + ("write",),
+                    )
         finally:
             del self._flushing[key]
             done.succeed()
@@ -588,8 +607,8 @@ class MountedFs:
             self.pool.trim_block(inode.ino, tail_block, keep)
             placed = self.fs.lookup_block(inode, tail_block)
             if placed is not None:
-                nsd_id, phys = placed
-                self.fs.nsds[nsd_id].trim(phys, keep)
+                for nsd_id, phys in self.fs.replica_placements(inode, tail_block):
+                    self.fs.nsds[nsd_id].trim(phys, keep)
         inode.size = min(inode.size, size)
         inode.mtime = self.sim.now
         return None

@@ -44,6 +44,9 @@ class NsdSpec:
 
     ``server_tags`` label every data flow through this NSD's server (used
     by scenarios to attribute traffic to e.g. a SCinet uplink, Fig 8).
+    ``failure_group`` is the replica-placement domain (``mmcrnsd``'s
+    FailureGroup column); None lets mmcrfs assign one per server node, so
+    replicas of a block never share an NSD server by default.
     """
 
     server: str
@@ -51,6 +54,7 @@ class NsdSpec:
     lun: Optional[Lun] = None
     hba: Optional[Hba] = None
     server_tags: Tuple[str, ...] = ()
+    failure_group: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.blocks <= 0:
@@ -298,8 +302,13 @@ class Cluster:
         block_size: int = MiB(1),
         manager_node: Optional[str] = None,
         store_data: bool = True,
+        replication=None,
     ) -> Filesystem:
-        """Create a filesystem striped over the given NSDs."""
+        """Create a filesystem striped over the given NSDs.
+
+        ``replication`` is a :class:`~repro.core.replication.ReplicationPolicy`
+        (``mmcrfs -r``); default is R=1, no verification — the legacy path.
+        """
         if device in self.filesystems:
             raise ClusterError(f"filesystem {device!r} already exists")
         if not specs:
@@ -309,6 +318,11 @@ class Cluster:
                 raise ClusterError(
                     f"NSD server {spec.server!r} is not a member of cluster {self.name!r}"
                 )
+        # Default failure groups: one per server node — replicas of a block
+        # then never sit behind the same NSD server.
+        group_of_server = {
+            srv: k for k, srv in enumerate(dict.fromkeys(s.server for s in specs))
+        }
         nsds: List[Nsd] = []
         servers: Dict[int, NsdServer] = {}
         server_objs: Dict[str, NsdServer] = {}
@@ -320,6 +334,11 @@ class Cluster:
                 block_size=block_size,
                 lun=spec.lun,
                 store_data=store_data,
+                failure_group=(
+                    spec.failure_group
+                    if spec.failure_group is not None
+                    else group_of_server[spec.server]
+                ),
             )
             nsds.append(nsd)
             server = server_objs.get(spec.server)
@@ -358,6 +377,7 @@ class Cluster:
             manager_node or specs[0].server,
             owner_cluster=self.name,
             store_data=store_data,
+            replication=replication,
         )
         self.filesystems[device] = fs
         return fs

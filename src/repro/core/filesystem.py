@@ -12,10 +12,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.allocation import AllocationMap
-from repro.core.blocks import StripeGeometry
+from repro.core.blocks import StripeGeometry, replica_slots
 from repro.core.inode import Inode, InodeTable
 from repro.core.namespace import Namespace
 from repro.core.nsd import Nsd, NsdService
+from repro.core.replication import ReplicaManager, ReplicationPolicy
 from repro.core.tokens import TokenManager
 from repro.net.message import MessageService
 from repro.sim.kernel import Simulation
@@ -35,6 +36,7 @@ class Filesystem:
         manager_node: str,
         owner_cluster: str = "",
         store_data: bool = True,
+        replication: Optional[ReplicationPolicy] = None,
     ) -> None:
         if not nsds:
             raise ValueError("a filesystem needs at least one NSD")
@@ -56,6 +58,15 @@ class Filesystem:
         self.allocation = AllocationMap({n.nsd_id: n.total_blocks for n in nsds})
         self.token_manager = TokenManager(sim, messages, manager_node)
         self.mounts: list = []
+        self.replication = replication if replication is not None else ReplicationPolicy()
+        if self.replication.copies > len(nsds):
+            raise ValueError(
+                f"replication copies={self.replication.copies} exceeds "
+                f"{len(nsds)} NSDs"
+            )
+        #: Failure group of the NSD in each stripe slot (placement input).
+        self._groups = [n.failure_group for n in nsds]
+        self.integrity = ReplicaManager(self)
 
     # -- capacity ----------------------------------------------------------------
 
@@ -83,14 +94,36 @@ class Filesystem:
         return inode.blocks.get(block_index)
 
     def ensure_block(self, inode: Inode, block_index: int) -> Tuple[int, int]:
-        """Allocate the block on its striping target if needed."""
+        """Allocate the block on its striping target if needed.
+
+        With replication active the R-1 extra replicas are allocated in
+        the same step (all-or-nothing), each in a distinct failure group
+        walking round-robin from the primary's stripe slot.
+        """
         placed = inode.blocks.get(block_index)
         if placed is not None:
             return placed
-        nsd_id = self.nsd_id_for(inode.ino, block_index)
-        phys = self.allocation.alloc_on(nsd_id)
-        inode.blocks[block_index] = (nsd_id, phys)
-        return nsd_id, phys
+        copies = self.replication.copies
+        if copies <= 1:
+            nsd_id = self.nsd_id_for(inode.ino, block_index)
+            phys = self.allocation.alloc_on(nsd_id)
+            inode.blocks[block_index] = (nsd_id, phys)
+            return nsd_id, phys
+        slot = self.geometry.nsd_for(inode.ino, block_index)
+        slots = [slot] + replica_slots(slot, copies, self._groups)
+        placements = self.allocation.alloc_replica_set(
+            [self._nsd_order[s] for s in slots]
+        )
+        inode.blocks[block_index] = placements[0]
+        inode.replicas[block_index] = tuple(placements[1:])
+        return placements[0]
+
+    def replica_placements(self, inode: Inode, block_index: int) -> List[Tuple[int, int]]:
+        """All physical copies of a logical block, primary first."""
+        primary = inode.blocks.get(block_index)
+        if primary is None:
+            raise KeyError(f"block {block_index} of ino {inode.ino} not allocated")
+        return [primary, *inode.replicas.get(block_index, ())]
 
     def free_file_blocks(self, inode: Inode, from_block: int = 0) -> int:
         """Release blocks >= ``from_block``; returns count freed."""
@@ -99,6 +132,9 @@ class Filesystem:
             nsd_id, phys = inode.blocks.pop(b)
             self.allocation.free_on(nsd_id, phys)
             self.nsds[nsd_id].discard(phys)
+            for r_nsd, r_phys in inode.replicas.pop(b, ()):
+                self.allocation.free_on(r_nsd, r_phys)
+                self.nsds[r_nsd].discard(r_phys)
         return len(doomed)
 
     def stats(self) -> Dict[str, float]:

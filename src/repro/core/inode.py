@@ -33,6 +33,9 @@ class Inode:
     nlink: int = 1
     #: logical block index → (nsd_id, physical block)
     blocks: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: logical block index → extra replicas beyond the primary, each
+    #: (nsd_id, physical block); empty when the filesystem runs R=1.
+    replicas: Dict[int, Tuple[Tuple[int, int], ...]] = field(default_factory=dict)
     #: HSM state: None = resident; otherwise the tape location token.
     hsm_offline: Optional[str] = None
 
@@ -96,6 +99,10 @@ class InodeTable:
 
     def __len__(self) -> int:
         return len(self._inodes)
+
+    def __iter__(self):
+        """Inodes in ino order (deterministic sweep order for the scrubber)."""
+        return iter(sorted(self._inodes.values(), key=lambda i: i.ino))
 
     def __contains__(self, ino: int) -> bool:
         return ino in self._inodes

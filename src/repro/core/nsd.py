@@ -23,6 +23,7 @@ paper saturate WAN links despite 80 ms RTTs.
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Dict, Generator, Iterable, Optional
 
 from repro.net.flow import FlowEngine
@@ -34,8 +35,19 @@ from repro.storage.array import Lun
 from repro.storage.san import Hba
 
 
+class ChecksumError(IOError):
+    """A block read did not match its stored end-to-end checksum."""
+
+
 class Nsd:
-    """One network shared disk: identity, capacity, and block contents."""
+    """One network shared disk: identity, capacity, and block contents.
+
+    Integrity: every ``store`` records a CRC32 over the full (zero-padded)
+    block, so a reader that fetches the whole block can verify end to end.
+    ``corrupt`` models silent bit-rot — it mutates stored bytes (or, in
+    size-only mode, poisons the block) *without* touching the checksum,
+    which is exactly what makes the rot detectable only by verification.
+    """
 
     def __init__(
         self,
@@ -45,6 +57,7 @@ class Nsd:
         block_size: int,
         lun: Optional[Lun] = None,
         store_data: bool = True,
+        failure_group: Optional[int] = None,
     ) -> None:
         if total_blocks <= 0 or block_size <= 0:
             raise ValueError("total_blocks and block_size must be positive")
@@ -54,9 +67,18 @@ class Nsd:
         self.block_size = block_size
         self.lun = lun
         self.store_data = store_data
+        #: Placement domain: replicas of one block must land in distinct
+        #: failure groups (defaults to "every NSD its own group").
+        self.failure_group = nsd_id if failure_group is None else int(failure_group)
         self._data: Dict[int, bytes] = {}
+        #: phys → CRC32 of the zero-padded full block, written at store time.
+        self._sums: Dict[int, int] = {}
+        #: Replicas with injected rot (authoritative in size-only mode,
+        #: where there are no bytes for the CRC to disagree about).
+        self._poisoned: set[int] = set()
         self.reads = 0
         self.writes = 0
+        self.corruptions = 0
 
     @property
     def capacity(self) -> int:
@@ -72,6 +94,11 @@ class Nsd:
         if offset < 0 or offset + len(data) > self.block_size:
             raise ValueError("write exceeds block bounds")
         self.writes += 1
+        # A full-block overwrite replaces every rotten byte; a partial
+        # write cannot vouch for the bytes it did not touch, so poison
+        # (injected rot) survives it and still triggers repair.
+        if offset == 0 and len(data) == self.block_size:
+            self._poisoned.discard(phys)
         if not self.store_data:
             return
         old = self._data.get(phys, b"")
@@ -79,6 +106,58 @@ class Nsd:
             old = old + b"\x00" * (offset - len(old))
         new = old[:offset] + data + old[offset + len(data):]
         self._data[phys] = new
+        self._sums[phys] = self._checksum_of(new)
+
+    def _checksum_of(self, blob: bytes) -> int:
+        """CRC32 over ``blob`` zero-padded to a full block (what a reader
+        of the whole block sees)."""
+        pad = int(self.block_size) - len(blob)
+        return zlib.crc32(bytes(pad), zlib.crc32(blob))
+
+    def checksum(self, phys: int) -> Optional[int]:
+        """Stored checksum of block ``phys`` (None if never written)."""
+        self._check_block(phys)
+        return self._sums.get(phys)
+
+    def verify_full(self, phys: int, data: Optional[bytes] = None) -> bool:
+        """Does a full-block read of ``phys`` match its stored checksum?
+
+        ``data`` is the transferred full block (end-to-end verification at
+        the reader); omit it to verify the at-rest contents (scrub).
+        """
+        self._check_block(phys)
+        if phys in self._poisoned:
+            return False
+        want = self._sums.get(phys)
+        if want is None or not self.store_data:
+            return True
+        if data is None:
+            blob = self._data.get(phys, b"")
+            return self._checksum_of(blob) == want
+        if len(data) != self.block_size:
+            raise ValueError("verify_full needs the whole block")
+        return zlib.crc32(data) == want
+
+    def corrupt(self, phys: int, offset: Optional[int] = None) -> bool:
+        """Silent bit-rot: flip one stored byte, leaving the checksum
+        intact — only end-to-end verification can notice. Returns True
+        (rot landed); the flip offset defaults to a deterministic
+        function of ``phys`` so chaos runs stay reproducible.
+        """
+        self._check_block(phys)
+        self.corruptions += 1
+        self._poisoned.add(phys)
+        if not self.store_data:
+            return True
+        blob = self._data.get(phys)
+        if blob:
+            if offset is None:
+                offset = phys % len(blob)
+            if not 0 <= offset < len(blob):
+                raise ValueError(f"corruption offset {offset} outside stored data")
+            flipped = blob[offset] ^ 0x5A
+            self._data[phys] = blob[:offset] + bytes([flipped]) + blob[offset + 1:]
+        return True
 
     def fetch(self, phys: int, offset: int, length: int) -> bytes:
         """Block contents (zero-filled where never written)."""
@@ -96,6 +175,8 @@ class Nsd:
 
     def discard(self, phys: int) -> None:
         self._data.pop(phys, None)
+        self._sums.pop(phys, None)
+        self._poisoned.discard(phys)
 
     def trim(self, phys: int, keep_bytes: int) -> None:
         """Drop block contents beyond ``keep_bytes`` (truncate tail)."""
@@ -104,7 +185,9 @@ class Nsd:
             raise ValueError("keep_bytes out of block bounds")
         blob = self._data.get(phys)
         if blob is not None and len(blob) > keep_bytes:
-            self._data[phys] = blob[:keep_bytes]
+            blob = blob[:keep_bytes]
+            self._data[phys] = blob
+            self._sums[phys] = self._checksum_of(blob)
 
 
 class NsdServer:
@@ -209,8 +292,14 @@ class NsdService:
         #: fail-fast behaviour, preserved exactly for existing callers.
         self.retry = None
         self._retry_rng = None
+        self._retry_streams = None
         self.retries = 0
         self.rpc_timeouts = 0
+        self.checksum_failures = 0
+        #: Network partition state (repro.faults.PartitionState); None (or
+        #: a healed partition) adds zero event hops to the data path.
+        self.partition = None
+        self.partition_parked = 0
         self._down_waiters: Dict[str, list] = {}
 
     def attach_health(self, health) -> None:
@@ -219,14 +308,30 @@ class NsdService:
         :class:`NsdServerDown` — instead of succeeding against a corpse."""
         self.health = health
 
-    def attach_retry(self, policy, rng=None) -> None:
+    def attach_retry(self, policy, rng=None, rng_streams=None) -> None:
         """Enable per-RPC timeout/backoff/failover retry on block ops.
 
-        ``rng`` is a seeded numpy Generator for backoff jitter (e.g.
-        ``RngRegistry.stream("faults.retry")``) so runs stay reproducible.
+        ``rng_streams`` is an :class:`~repro.sim.rand.RngRegistry` (or any
+        object with a ``stream(name)`` method): each client node then draws
+        backoff jitter from its own named stream ``faults.retry.<node>``,
+        so backed-off clients don't retry in lockstep. ``rng`` is the
+        legacy single shared Generator (every client the same stream),
+        kept for callers that want one knob.
         """
         self.retry = policy
         self._retry_rng = rng
+        self._retry_streams = rng_streams
+
+    def _retry_rng_for(self, client_node: str):
+        """The jitter RNG for one client's backoff delays."""
+        if self._retry_streams is not None:
+            return self._retry_streams.stream(f"faults.retry.{client_node}")
+        return self._retry_rng
+
+    def attach_partition(self, partition) -> None:
+        """Block ops between severed node sets park until the partition
+        heals (repro.faults.PartitionState)."""
+        self.partition = partition
 
     def mark_down(self, node: str) -> None:
         """Declare an NSD server node dead (disk lease expired)."""
@@ -304,6 +409,25 @@ class NsdService:
             f"server {server.node!r} crashed mid-RPC"
         )
 
+    def _partition_wait(self, client_node: str, server_node: str):
+        """Park while a partition severs the client from the server.
+
+        Yields nothing at all when no partition is active (or the pair is
+        on the same side), so the nominal data path is untouched. A parked
+        RPC resumes after heal — the per-attempt retry timeout decides
+        whether the caller waits or abandons the attempt.
+        """
+        part = self.partition
+        if part is None or not part.severed(client_node, server_node):
+            return
+        self.partition_parked += 1
+        if TRACE.enabled:
+            TRACE.instant(
+                self.sim, "nsd.partition_park", cat="fault.partition",
+                lane="faults", client=client_node, server=server_node,
+            )
+        yield part.wait_heal()
+
     def _pair_kwargs(self, src: str, dst: str) -> dict:
         kw: dict = {}
         if self.cap_resolver is not None:
@@ -337,6 +461,7 @@ class NsdService:
     def _write(self, client_node, nsd_id, phys, offset, data, sequential, tags):
         nsd = self.nsds[nsd_id]
         server = self.server_of(nsd_id)
+        yield from self._partition_wait(client_node, server.node)
         yield from self._guard(server)
         if isinstance(data, int):
             length = data
@@ -384,6 +509,8 @@ class NsdService:
             nsd.store(phys, offset, payload)
         else:
             nsd._check_block(phys)
+            if offset == 0 and length == nsd.block_size:
+                nsd._poisoned.discard(phys)  # full overwrite heals injected rot
             nsd.writes += 1  # size-only mode: count, no contents to keep
         self.blocks_written += 1
         yield from self._guard(server)
@@ -405,16 +532,27 @@ class NsdService:
         length: int,
         sequential: bool = True,
         tags: tuple[str, ...] = (),
+        verify: bool = False,
     ) -> Event:
-        """Read a block slice; the event's value is the data (bytes)."""
-        args = (client_node, nsd_id, phys, offset, length, sequential, tags)
+        """Read a block slice; the event's value is the data (bytes).
+
+        ``verify=True`` (full-block reads only) checks the transferred
+        data against the block's stored end-to-end checksum at the client
+        and raises :class:`ChecksumError` on mismatch — the replication
+        layer's cue to fail over to another replica and repair this one.
+        """
+        if verify and (offset != 0 or length != self.nsds[nsd_id].block_size):
+            raise ValueError("verified reads must cover the whole block")
+        args = (client_node, nsd_id, phys, offset, length, sequential, tags, verify)
         if self.retry is not None:
             return self.sim.process(self._with_retry("read", args), name="nsd-read")
         return self.sim.process(self._read(*args), name="nsd-read")
 
-    def _read(self, client_node, nsd_id, phys, offset, length, sequential, tags):
+    def _read(self, client_node, nsd_id, phys, offset, length, sequential, tags,
+              verify=False):
         nsd = self.nsds[nsd_id]
         server = self.server_of(nsd_id)
+        yield from self._partition_wait(client_node, server.node)
         yield from self._guard(server)
         tr = TRACE if TRACE.enabled else None
         lane = f"nsd:{server.name}"
@@ -460,6 +598,19 @@ class NsdService:
         if rpc:
             tr.end(self.sim, rpc)
         self.blocks_read += 1
+        # 4. end-to-end verification at the client, over the bytes that
+        #    actually crossed the network (zero sim-time: CPU cost of a
+        #    CRC is negligible next to a WAN block transfer).
+        if verify and not nsd.verify_full(phys, data if nsd.store_data else None):
+            self.checksum_failures += 1
+            if tr:
+                tr.instant(
+                    self.sim, "nsd.checksum_mismatch", cat="fault.integrity",
+                    lane=lane, nsd=nsd_id, phys=phys, client=client_node,
+                )
+            raise ChecksumError(
+                f"block {phys} on {nsd.name} failed end-to-end verification"
+            )
         return data
 
     # -- retry ----------------------------------------------------------------
@@ -476,6 +627,7 @@ class NsdService:
         :class:`RpcRetriesExhausted` only when every attempt failed.
         """
         policy = self.retry
+        rng = self._retry_rng_for(args[0])
         last: BaseException | None = None
         for attempt in range(1, policy.max_attempts + 1):
             gen = self._write(*args) if kind == "write" else self._read(*args)
@@ -496,7 +648,7 @@ class NsdService:
             if attempt == policy.max_attempts:
                 break
             self.retries += 1
-            delay = policy.backoff_delay(attempt, self._retry_rng)
+            delay = policy.backoff_delay(attempt, rng)
             if TRACE.enabled:
                 TRACE.instant(
                     self.sim, "nsd.rpc_retry", cat="fault.retry",

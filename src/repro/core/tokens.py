@@ -102,6 +102,11 @@ class TokenManager:
         #: expire instead of messaging a corpse forever.
         self.failure_detector = None
         self.dead_holder_releases = 0
+        #: Optional repro.faults.QuorumService: a manager node cut off
+        #: from the majority of NSD server nodes parks every grant until
+        #: the partition heals — the split-brain gate.
+        self.quorum = None
+        self.quorum_parked_grants = 0
 
     def register_client(self, node: str, handler: RevokeHandler) -> None:
         self._handlers[node] = handler
@@ -162,6 +167,12 @@ class TokenManager:
     def _acquire(self, client, ino, start, end, mode, desired):
         # request message to the manager node
         yield self.messages.send(client, self.node, nbytes=256)
+        # Quorum gate: a minority-side manager must not hand out tokens
+        # the majority side could also grant. Park (don't fail) — after
+        # heal the grant proceeds with whatever state survived.
+        while self.quorum is not None and not self.quorum.has_quorum(self.node):
+            self.quorum_parked_grants += 1
+            yield self.quorum.partition.wait_heal()
         with self._lock_for(ino).request() as req:
             yield req
             holders = self._held.setdefault(ino, [])

@@ -127,7 +127,7 @@ def run_e13(
         network=g.network,
         lease_duration=lease_duration,
         retry=RetryPolicy(),
-        retry_rng=g.rng.stream("faults.retry"),
+        retry_rng_streams=g.rng,
         token_managers=[scenario.fs.token_manager],
         arrays={a.name: a for a in scenario.arrays},
     )

@@ -17,22 +17,30 @@ the data path needs for that, plus the scripting to exercise them:
   manual poking anywhere outside tests;
 * :class:`RetryPolicy` — client-side resilience: per-RPC timeouts and
   exponential backoff with deterministic seeded jitter, applied by
-  ``NsdService`` when attached.
+  ``NsdService`` when attached;
+* :class:`PartitionState` + :class:`QuorumService` — WAN partitions as a
+  first-class fault: messages and block RPCs across the cut park until
+  heal, and a majority-of-NSD-nodes quorum gates token grants and
+  dead-node declarations so a minority side parks instead of
+  split-braining.
 
 :class:`FaultHarness` (or :func:`attach_faults`) wires all three onto a
 built filesystem in one call; experiment E13 is the chaos soak that
 exercises the full loop end to end.
 """
 
-from repro.core.nsd import NsdServerDown, RpcRetriesExhausted
+from repro.core.nsd import ChecksumError, NsdServerDown, RpcRetriesExhausted
 from repro.faults.detector import DiskLeaseDetector
 from repro.faults.harness import FaultHarness, attach_faults
 from repro.faults.health import NodeHealth
 from repro.faults.injector import FaultInjector
+from repro.faults.partition import PartitionState
+from repro.faults.quorum import QuorumService
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultAction, FaultSchedule
 
 __all__ = [
+    "ChecksumError",
     "DiskLeaseDetector",
     "FaultAction",
     "FaultHarness",
@@ -40,6 +48,8 @@ __all__ = [
     "FaultSchedule",
     "NodeHealth",
     "NsdServerDown",
+    "PartitionState",
+    "QuorumService",
     "RetryPolicy",
     "RpcRetriesExhausted",
     "attach_faults",

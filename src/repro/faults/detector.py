@@ -61,6 +61,12 @@ class DiskLeaseDetector:
                 f"{self.renew_interval}"
             )
         self.token_managers = list(token_managers)
+        #: Optional repro.faults.QuorumService: while the manager node has
+        #: no node quorum (minority side of a partition), declarations are
+        #: suppressed — a minority must not declare the majority dead.
+        self.quorum = None
+        self.quorum_suppressed_checks = 0
+        self._had_quorum = True
         self.detected_down: set[str] = set()
         self._expiry: Dict[str, float] = {}
         self._death_waiters: Dict[str, List[Event]] = {}
@@ -129,6 +135,24 @@ class DiskLeaseDetector:
             while True:
                 yield self.sim.timeout(self.check_interval)
                 now = self.sim.now
+                if self.quorum is not None and not self.quorum.has_quorum(
+                    self.manager_node
+                ):
+                    # Quorumless: renewals from the other side are parked in
+                    # the network, so expiries prove nothing. Declare no one.
+                    self.quorum_suppressed_checks += 1
+                    self._had_quorum = False
+                    continue
+                if not self._had_quorum:
+                    # Quorum regained (partition healed): grant every node a
+                    # fresh lease — its parked renewals are in flight, and
+                    # expiries accumulated during the cut are meaningless.
+                    self._had_quorum = True
+                    for node in self.nodes:
+                        self._expiry[node] = max(
+                            self._expiry[node], now + self.lease_duration
+                        )
+                    continue
                 for node in self.nodes:
                     if node in self.detected_down:
                         continue
@@ -214,4 +238,6 @@ class DiskLeaseDetector:
         if mttr:
             out["mttr_mean"] = sum(mttr) / len(mttr)
             out["mttr_max"] = max(mttr)
+        if self.quorum is not None:
+            out["quorum_suppressed_checks"] = float(self.quorum_suppressed_checks)
         return out

@@ -10,7 +10,7 @@ from a nominal run by exactly one call::
     harness = attach_faults(
         sim, service, engine=engine, network=net, manager_node="nsd00",
         schedule=FaultSchedule().crash_node(2.0, "nsd01"),
-        retry=RetryPolicy(), retry_rng=rngs.stream("faults.retry"),
+        retry=RetryPolicy(), retry_rng_streams=rngs,
     )
     ...
     harness.stop()
@@ -29,6 +29,8 @@ from typing import Dict, Iterable, Optional
 from repro.faults.detector import DiskLeaseDetector
 from repro.faults.health import NodeHealth
 from repro.faults.injector import FaultInjector
+from repro.faults.partition import PartitionState
+from repro.faults.quorum import QuorumService
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.sim.kernel import Event, Simulation
@@ -50,6 +52,7 @@ class FaultHarness:
         check_interval: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         retry_rng=None,
+        retry_rng_streams=None,
         token_managers: Iterable = (),
         arrays: Dict[str, object] | None = None,
         watch_nodes: Iterable[str] = (),
@@ -76,6 +79,13 @@ class FaultHarness:
             check_interval=check_interval,
             token_managers=token_managers,
         )
+        # Partition support is created only when the schedule asks for it,
+        # so nominal and non-partition chaos runs carry zero extra state.
+        self.partition: Optional[PartitionState] = None
+        self.quorum: Optional[QuorumService] = None
+        if any(a.kind in ("partition", "partition_heal") for a in self.schedule):
+            self.partition = PartitionState(sim)
+            self.quorum = QuorumService(service, self.partition)
         self.injector = FaultInjector(
             sim,
             self.schedule,
@@ -83,9 +93,12 @@ class FaultHarness:
             network=network,
             engine=engine,
             arrays=arrays,
+            nsds={nsd.name: nsd for nsd in service.nsds.values()},
+            partition=self.partition,
         )
         self.retry = retry
         self._retry_rng = retry_rng
+        self._retry_rng_streams = retry_rng_streams
         self.token_managers = list(token_managers)
         self._started = False
 
@@ -97,9 +110,19 @@ class FaultHarness:
         self._started = True
         self.service.attach_health(self.health)
         if self.retry is not None:
-            self.service.attach_retry(self.retry, rng=self._retry_rng)
+            self.service.attach_retry(
+                self.retry,
+                rng=self._retry_rng,
+                rng_streams=self._retry_rng_streams,
+            )
+        if self.partition is not None:
+            self.service.attach_partition(self.partition)
+            self.service.messages.attach_partition(self.partition)
+            self.detector.quorum = self.quorum
         for tm in self.token_managers:
             tm.failure_detector = self.detector
+            if self.quorum is not None:
+                tm.quorum = self.quorum
         self.detector.start()
         self.injector.start()
         return self
@@ -129,6 +152,19 @@ class FaultHarness:
         )
         if self.token_managers:
             out["dead_holder_releases"] = float(dead_releases)
+        # Partition/quorum metrics appear only when the schedule used a
+        # partition — existing chaos runs (E13) keep an identical key set.
+        if self.partition is not None:
+            out["partitions"] = float(self.partition.partitions)
+            out["partition_heals"] = float(self.partition.heals)
+            out["partition_parked_rpcs"] = float(self.service.partition_parked)
+            out["partition_parked_msgs"] = float(
+                self.service.messages.partition_parked
+            )
+            out.update(self.quorum.metrics())
+            out["quorum_parked_grants"] = float(
+                sum(getattr(tm, "quorum_parked_grants", 0) for tm in self.token_managers)
+            )
         return out
 
 

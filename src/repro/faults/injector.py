@@ -13,7 +13,13 @@ One sim process walks the schedule in time order and applies each action:
   Mathis loss cap;
 * ``disk_fail`` kills a drive via ``StorageArray.fail_disk`` and, while
   the RAID set rebuilds, streams reconstruction traffic through the
-  owning controller so co-hosted LUNs feel the bandwidth steal.
+  owning controller so co-hosted LUNs feel the bandwidth steal;
+* ``corrupt_block`` flips a stored byte of one replica via
+  ``Nsd.corrupt`` — silent rot that only end-to-end verification can
+  catch;
+* ``partition`` / ``partition_heal`` drive a
+  :class:`~repro.faults.partition.PartitionState`, cutting message and
+  block-RPC delivery between the minority node set and everyone else.
 
 Every applied action emits a ``fault.<kind>`` trace instant, so a
 Perfetto timeline shows injections, detections, and recoveries on one
@@ -47,6 +53,8 @@ class FaultInjector:
         network=None,
         engine=None,
         arrays: Dict[str, object] | None = None,
+        nsds: Dict[str, object] | None = None,
+        partition=None,
     ) -> None:
         self.sim = sim
         self.schedule = schedule
@@ -54,6 +62,8 @@ class FaultInjector:
         self.network = network
         self.engine = engine
         self.arrays = dict(arrays or {})
+        self.nsds = dict(nsds or {})  # NSD name -> Nsd (corrupt_block targets)
+        self.partition = partition
         self._orig_rate: Dict[str, float] = {}  # link name -> pre-fault rate
         self._saved_tcp = None
         self._proc: Process | None = None
@@ -101,6 +111,14 @@ class FaultInjector:
                         f"unknown storage array {action.target!r}; "
                         f"known: {sorted(self.arrays)}"
                     )
+            elif kind == "corrupt_block":
+                if action.target not in self.nsds:
+                    raise ValueError(
+                        f"unknown NSD {action.target!r}; known: {sorted(self.nsds)}"
+                    )
+            elif kind in ("partition", "partition_heal"):
+                if self.partition is None:
+                    raise ValueError(f"{kind} requires a PartitionState")
 
     def _resolve_links(self, target: str) -> list:
         """Exact link name, or ``a<->b`` for both directions of a pair."""
@@ -187,6 +205,30 @@ class FaultInjector:
             self.sim.process(
                 self._rebuild_traffic(lun), name=f"rebuild:{lun.name}"
             )
+
+    # -- integrity faults -----------------------------------------------------
+
+    def _do_corrupt_block(self, action: FaultAction) -> None:
+        nsd = self.nsds[action.target]
+        if "phys" in action.params:
+            phys = int(action.params["phys"])
+        else:
+            written = sorted(nsd._sums) or sorted(nsd._data)
+            if not written:
+                raise RuntimeError(
+                    f"corrupt_block: no written blocks on {action.target!r} "
+                    f"at t={self.sim.now}"
+                )
+            phys = written[int(action.params.get("index", 0)) % len(written)]
+        nsd.corrupt(phys)
+
+    # -- partitions -----------------------------------------------------------
+
+    def _do_partition(self, action: FaultAction) -> None:
+        self.partition.begin(action.target.split(","))
+
+    def _do_partition_heal(self, action: FaultAction) -> None:
+        self.partition.heal()
 
     def _rebuild_traffic(self, lun):
         """Reconstruction writes through the owning controller.

@@ -1,0 +1,68 @@
+"""Node quorum over the NSD server set: the split-brain gate.
+
+GPFS keeps a cluster consistent through partitions by letting only the
+side holding a *node quorum* (a strict majority of quorum nodes — here,
+the NSD server nodes) mutate cluster state. This module implements that
+rule as a small pure-query service consulted by two mutators:
+
+* :class:`~repro.core.tokens.TokenManager` refuses to grant byte-range
+  tokens while its manager node cannot reach a majority — a minority
+  manager parks the grant until heal instead of handing out tokens that
+  the majority side could also grant;
+* :class:`~repro.faults.detector.DiskLeaseDetector` makes no
+  declarations while quorumless — a minority side must not declare the
+  (perfectly healthy) majority dead.
+
+With no partition attached every check is ``True`` at zero cost, so the
+gate is invisible to nominal runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.partition import PartitionState
+
+
+class QuorumService:
+    """Majority-of-NSD-server-nodes reachability check."""
+
+    def __init__(self, service, partition: Optional[PartitionState] = None) -> None:
+        self.service = service  # NsdService: source of the quorum node set
+        self.partition = partition
+        self.checks = 0
+        self.denials = 0
+
+    def member_nodes(self) -> List[str]:
+        """The quorum node set: every distinct NSD server node (primaries
+        and backups — the nodes whose agreement matters for disk state)."""
+        service = self.service
+        return list(
+            dict.fromkeys(
+                [srv.node for srv in service.servers.values()]
+                + [b.node for bl in service.backup_servers.values() for b in bl]
+            )
+        )
+
+    def has_quorum(self, node: str) -> bool:
+        """Can ``node`` currently reach a strict majority of members?
+
+        A node always reaches itself; with no active partition the answer
+        is trivially yes.
+        """
+        self.checks += 1
+        part = self.partition
+        if part is None or not part.active:
+            return True
+        members = self.member_nodes()
+        reachable = sum(1 for m in members if not part.severed(node, m))
+        ok = reachable * 2 > len(members)
+        if not ok:
+            self.denials += 1
+        return ok
+
+    def metrics(self) -> Dict[str, float]:
+        return {
+            "quorum_checks": float(self.checks),
+            "quorum_denials": float(self.denials),
+        }

@@ -29,6 +29,9 @@ KINDS = frozenset(
         "loss_burst",
         "loss_clear",
         "disk_fail",
+        "corrupt_block",
+        "partition",
+        "partition_heal",
     }
 )
 
@@ -142,6 +145,42 @@ class FaultSchedule:
         if lun < 0:
             raise ValueError(f"lun index must be non-negative, got {lun}")
         return self.add(FaultAction(at, "disk_fail", array, {"lun": lun}))
+
+    def corrupt_block(
+        self,
+        at: float,
+        nsd: str,
+        phys: int | None = None,
+        index: int = 0,
+    ) -> "FaultSchedule":
+        """Silent bit-rot on one replica: flip a stored byte of a block on
+        NSD ``nsd`` *without* touching its checksum. ``phys`` pins the
+        physical block; omitting it lets the injector pick the
+        ``index``-th written block at injection time (still deterministic
+        — the write history is seeded)."""
+        if phys is not None:
+            if phys < 0:
+                raise ValueError(f"phys must be non-negative, got {phys}")
+            return self.add(FaultAction(at, "corrupt_block", nsd, {"phys": phys}))
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        return self.add(FaultAction(at, "corrupt_block", nsd, {"index": index}))
+
+    def partition(
+        self, at: float, minority: Iterable[str], duration: float
+    ) -> "FaultSchedule":
+        """Cut ``minority`` off from the rest of the network for
+        ``duration`` seconds: messages and block RPCs across the cut park
+        (TCP stalls, not drops) and resume at heal; the quorum gate keeps
+        the minority side from granting tokens or declaring deaths."""
+        nodes = [n for n in minority if n]
+        if not nodes:
+            raise ValueError("partition needs at least one minority node")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        target = ",".join(nodes)
+        self.add(FaultAction(at, "partition", target))
+        return self.add(FaultAction(at + duration, "partition_heal", target))
 
     # -- views ----------------------------------------------------------------
 

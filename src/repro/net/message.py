@@ -21,6 +21,27 @@ class MessageService:
         self.sim = sim
         self.network = network
         self.messages_sent = 0
+        #: Active network cut (repro.faults.PartitionState); None = whole.
+        self.partition = None
+        self.partition_parked = 0
+
+    def attach_partition(self, partition) -> None:
+        """Messages across a severed pair park until the partition heals,
+        then deliver (TCP retransmission semantics, not UDP drop)."""
+        self.partition = partition
+
+    def _park_then(self, src: str, dst: str, deliver) -> bool:
+        """Defer ``deliver`` to the partition heal when the pair is severed.
+
+        Returns True when the message was parked. The None check keeps
+        the nominal path allocation-free.
+        """
+        part = self.partition
+        if part is None or not part.severed(src, dst):
+            return False
+        self.partition_parked += 1
+        part.wait_heal().callbacks.append(lambda _e: deliver())
+        return True
 
     def delivery_time(self, src: str, dst: str, nbytes: float = 1024.0) -> float:
         """One-way latency for a message of ``nbytes``."""
@@ -34,9 +55,14 @@ class MessageService:
         """Deliver ``payload`` to ``dst``; event fires with the payload."""
         self.messages_sent += 1
         evt = self.sim.event(name=f"msg:{src}->{dst}")
-        self.sim.schedule_callback(
-            self.delivery_time(src, dst, nbytes), lambda: evt.succeed(payload)
-        )
+
+        def deliver() -> None:
+            self.sim.schedule_callback(
+                self.delivery_time(src, dst, nbytes), lambda: evt.succeed(payload)
+            )
+
+        if not self._park_then(src, dst, deliver):
+            deliver()
         return evt
 
     def round_trip(
@@ -55,5 +81,10 @@ class MessageService:
         )
         self.messages_sent += 2
         evt = self.sim.event(name=f"rpc:{src}<->{dst}")
-        self.sim.schedule_callback(total, lambda: evt.succeed(None))
+
+        def deliver() -> None:
+            self.sim.schedule_callback(total, lambda: evt.succeed(None))
+
+        if not self._park_then(src, dst, deliver):
+            deliver()
         return evt

@@ -71,6 +71,7 @@ def build_sdsc2005(
     store_data: bool = False,
     with_disks: bool = True,
     seed: int = 0,
+    replication=None,
 ) -> Sdsc2005Scenario:
     """Figs 9–10: the production configuration (parameterized for sweeps)."""
     if nsd_servers < 1 or ds4100_count < 1:
@@ -115,7 +116,13 @@ def build_sdsc2005(
                 NsdSpec(server=server, blocks=_blocks_for(luns[j]), lun=luns[j],
                         hba=hbas[server])
             )
-    fs = sdsc.mmcrfs("gpfs-wan", specs, block_size=block_size, store_data=store_data)
+    fs = sdsc.mmcrfs(
+        "gpfs-wan",
+        specs,
+        block_size=block_size,
+        store_data=store_data,
+        replication=replication,
+    )
 
     clients: Dict[str, List[str]] = {"sdsc": [], "anl": [], "ncsa": []}
     for i in range(sdsc_clients):

@@ -1,0 +1,224 @@
+"""Replication data path: placement, fan-out writes, failover, read-repair."""
+
+import pytest
+
+from repro.core.blocks import replica_slots
+from repro.core.replication import (
+    AllReplicasFailed,
+    ReplicaQuorumError,
+    ReplicationPolicy,
+)
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+BS = 256 * 1024  # small_gfs default block size
+PAYLOAD = 8 * BS
+
+
+class TestReplicaSlots:
+    def test_prefers_distinct_failure_groups(self):
+        # groups: 0 0 1 1 — the replica of slot 0 must skip slot 1 (same
+        # group) and land on slot 2.
+        assert replica_slots(0, 2, [0, 0, 1, 1]) == [2]
+
+    def test_falls_back_to_distinct_slots(self):
+        # one failure group everywhere: still never two copies per slot
+        assert replica_slots(1, 3, [0, 0, 0, 0]) == [2, 3]
+
+    def test_three_way_across_groups(self):
+        assert replica_slots(0, 3, [0, 1, 2, 0, 1, 2]) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replica_slots(5, 2, [0, 1])  # primary out of range
+        with pytest.raises(ValueError):
+            replica_slots(0, 0, [0, 1])  # copies < 1
+        with pytest.raises(ValueError):
+            replica_slots(0, 3, [0, 1])  # more copies than slots
+
+
+class TestReplicationPolicy:
+    def test_defaults_inactive(self):
+        policy = ReplicationPolicy()
+        assert not policy.active
+
+    def test_active_forms(self):
+        assert ReplicationPolicy(copies=2).active
+        assert ReplicationPolicy(verify_reads=True).active
+
+    def test_ack_threshold(self):
+        assert ReplicationPolicy(copies=3, quorum="all").ack_threshold(3) == 3
+        assert ReplicationPolicy(copies=3, quorum="majority").ack_threshold(3) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationPolicy(copies=0)
+        with pytest.raises(ValueError):
+            ReplicationPolicy(quorum="some")
+
+
+def _replicated_gfs(copies=2, quorum="all", nsd_servers=4):
+    return small_gfs(
+        nsd_servers=nsd_servers,
+        replication=ReplicationPolicy(
+            copies=copies, quorum=quorum, verify_reads=True
+        ),
+    )
+
+
+def _write_pattern(g, m, path="/f", nbytes=PAYLOAD):
+    payload = bytes(range(256)) * (nbytes // 256)
+
+    def gen():
+        h = yield m.open(path, "w", create=True)
+        yield m.write(h, payload)
+        yield m.close(h)
+
+    run_io(g, gen())
+    return payload
+
+
+def _read_all(g, m, path="/f", nbytes=PAYLOAD):
+    def gen():
+        h = yield m.open(path, "r")
+        data = yield m.pread(h, 0, nbytes)
+        yield m.close(h)
+        return data
+
+    return run_io(g, gen())
+
+
+class TestReplicatedWrites:
+    def test_every_block_has_copies_in_distinct_groups(self):
+        g, cluster, fs, _ = _replicated_gfs()
+        m = mounted(g, cluster, node="c0")
+        _write_pattern(g, m)
+        inode = fs.namespace.resolve("/f")
+        assert inode.blocks  # primary map populated
+        for block_index in inode.blocks:
+            placements = fs.replica_placements(inode, block_index)
+            assert len(placements) == 2
+            groups = [fs.nsds[nsd_id].failure_group for nsd_id, _ in placements]
+            assert len(set(groups)) == 2
+
+    def test_both_replicas_hold_verified_data(self):
+        g, cluster, fs, _ = _replicated_gfs()
+        m = mounted(g, cluster, node="c0")
+        _write_pattern(g, m)
+        inode = fs.namespace.resolve("/f")
+        for block_index in inode.blocks:
+            for nsd_id, phys in fs.replica_placements(inode, block_index):
+                assert fs.nsds[nsd_id].verify_full(phys)
+
+
+class TestReadPath:
+    def test_corrupt_primary_served_from_survivor_and_repaired(self):
+        g, cluster, fs, _ = _replicated_gfs()
+        m = mounted(g, cluster, node="c0")
+        payload = _write_pattern(g, m)
+        inode = fs.namespace.resolve("/f")
+        primary_nsd, primary_phys = fs.replica_placements(inode, 2)[0]
+        fs.nsds[primary_nsd].corrupt(primary_phys)
+        m.pool.invalidate(inode.ino)
+
+        data = _read_all(g, m)
+        assert data == payload  # zero wrong bytes despite the rot
+        assert fs.integrity.corrupt_reads_detected == 1
+        assert fs.integrity.degraded_reads == 1
+        g.run(until=g.sim.timeout(1.0))  # let background read-repair land
+        assert fs.integrity.read_repairs == 1
+        assert fs.nsds[primary_nsd].verify_full(primary_phys)
+
+    def test_all_replicas_rotten_fails_loudly(self):
+        g, cluster, fs, _ = _replicated_gfs()
+        m = mounted(g, cluster, node="c0")
+        _write_pattern(g, m)
+        inode = fs.namespace.resolve("/f")
+        for nsd_id, phys in fs.replica_placements(inode, 0):
+            fs.nsds[nsd_id].corrupt(phys)
+        m.pool.invalidate(inode.ino)
+        with pytest.raises(AllReplicasFailed):
+            _read_all(g, m, nbytes=BS)
+
+    def test_down_primary_read_prefers_survivor(self):
+        g, cluster, fs, _ = _replicated_gfs()
+        m = mounted(g, cluster, node="c0")
+        payload = _write_pattern(g, m)
+        inode = fs.namespace.resolve("/f")
+        service = fs.service
+        # Take down the primary server (and its backups) of block 0 only.
+        primary_nsd, _ = fs.replica_placements(inode, 0)[0]
+        service.mark_down(service.servers[primary_nsd].node)
+        for backup in service.backup_servers.get(primary_nsd, []):
+            service.mark_down(backup.node)
+        m.pool.invalidate(inode.ino)
+        data = _read_all(g, m)
+        assert data == payload
+        assert fs.integrity.degraded_reads >= 1
+
+
+class TestWriteQuorum:
+    def _down_one_replica_path(self, fs):
+        """Make one replica of block 0 unwritable (primary + backups down)."""
+        service = fs.service
+        inode = fs.namespace.resolve("/f")
+        placements = fs.replica_placements(inode, 0)
+        nsd_id, _ = placements[-1]
+        service.mark_down(service.servers[nsd_id].node)
+        for backup in service.backup_servers.get(nsd_id, []):
+            service.mark_down(backup.node)
+        return placements
+
+    def test_majority_quorum_absorbs_one_dead_replica(self):
+        g, cluster, fs, _ = _replicated_gfs(copies=3, quorum="majority")
+        m = mounted(g, cluster, node="c0")
+        _write_pattern(g, m)
+        placements = self._down_one_replica_path(fs)
+        evt = fs.integrity.write_block("c0", placements, 0, b"\x7f" * BS)
+        assert g.run(until=evt) == BS
+        assert fs.integrity.replica_write_failures == 1
+        assert fs.integrity.quorum_failures == 0
+
+    def test_all_quorum_fails_on_one_dead_replica(self):
+        g, cluster, fs, _ = _replicated_gfs(copies=3, quorum="all")
+        m = mounted(g, cluster, node="c0")
+        _write_pattern(g, m)
+        placements = self._down_one_replica_path(fs)
+        evt = fs.integrity.write_block("c0", placements, 0, b"\x7f" * BS)
+        with pytest.raises(ReplicaQuorumError):
+            g.run(until=evt)
+        assert fs.integrity.quorum_failures == 1
+
+
+class TestInactivePolicyInvariance:
+    def _workload(self, replication):
+        kwargs = {} if replication is None else {"replication": replication}
+        g, cluster, fs, _ = small_gfs(nsd_servers=4, **kwargs)
+        m = mounted(g, cluster, node="c0")
+        _write_pattern(g, m)
+        m.pool.invalidate(fs.namespace.resolve("/f").ino)
+        _read_all(g, m)
+        return g.sim.now
+
+    def test_r1_no_verify_is_bit_identical_to_legacy(self):
+        # copies=1, verify off → the policy is inactive and the client
+        # must take the exact legacy path: identical completion time.
+        legacy = self._workload(None)
+        inactive = self._workload(ReplicationPolicy(copies=1))
+        assert legacy == inactive
+
+    def test_truncate_trims_every_replica(self):
+        g, cluster, fs, _ = _replicated_gfs()
+        m = mounted(g, cluster, node="c0")
+        _write_pattern(g, m)
+        inode = fs.namespace.resolve("/f")
+        placements = fs.replica_placements(inode, 0)
+
+        def trunc():
+            h = yield m.open("/f", "r+")
+            yield m.truncate(h, BS // 2)
+            yield m.close(h)
+
+        run_io(g, trunc())
+        for nsd_id, phys in placements:
+            assert len(fs.nsds[nsd_id]._data.get(phys, b"")) <= BS // 2

@@ -13,8 +13,13 @@ def small_gfs(
     nic_rate: float = Gbps(1),
     blocks_per_nsd: int = 4096,
     seed: int = 0,
+    **fs_kwargs,
 ):
-    """One cluster, one switch, diskless NSDs (network-only data path)."""
+    """One cluster, one switch, diskless NSDs (network-only data path).
+
+    Extra keyword arguments (``store_data``, ``replication``, ...) are
+    forwarded to ``mmcrfs``.
+    """
     g = Gfs(seed=seed)
     net = g.network
     net.add_node("sw", kind="switch")
@@ -28,6 +33,7 @@ def small_gfs(
         "gpfs0",
         [NsdSpec(server=s, blocks=blocks_per_nsd) for s in server_names],
         block_size=block_size,
+        **fs_kwargs,
     )
     return g, cluster, fs, client_names
 

@@ -1,0 +1,163 @@
+"""Schedule builders and injector handling for corrupt_block / partition."""
+
+import pytest
+
+from repro.core.nsd import Nsd
+from repro.faults import FaultInjector, FaultSchedule, PartitionState
+from repro.sim import Simulation
+
+BS = 4096
+
+
+class TestScheduleBuilders:
+    def test_corrupt_block_pinned_phys(self):
+        schedule = FaultSchedule().corrupt_block(1.0, "nsdA", phys=7)
+        (action,) = list(schedule)
+        assert action.kind == "corrupt_block"
+        assert action.target == "nsdA"
+        assert action.params == {"phys": 7}
+
+    def test_corrupt_block_index_pick(self):
+        schedule = FaultSchedule().corrupt_block(1.0, "nsdA", index=2)
+        (action,) = list(schedule)
+        assert action.params == {"index": 2}
+
+    def test_corrupt_block_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().corrupt_block(1.0, "nsdA", phys=-1)
+        with pytest.raises(ValueError):
+            FaultSchedule().corrupt_block(1.0, "nsdA", index=-1)
+
+    def test_partition_adds_cut_and_heal(self):
+        schedule = FaultSchedule().partition(2.0, ["a", "b"], 1.5)
+        actions = list(schedule.ordered())
+        assert [a.kind for a in actions] == ["partition", "partition_heal"]
+        assert actions[0].at == 2.0
+        assert actions[1].at == 3.5
+        assert actions[0].target == "a,b"
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().partition(1.0, [], 1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule().partition(1.0, ["a"], 0.0)
+
+
+class TestInjectorValidation:
+    def test_corrupt_block_requires_known_nsd(self):
+        sim = Simulation()
+        injector = FaultInjector(
+            sim, FaultSchedule().corrupt_block(0.1, "ghost"), nsds={}
+        )
+        with pytest.raises(ValueError, match="unknown NSD"):
+            injector.start()
+
+    def test_partition_requires_state(self):
+        sim = Simulation()
+        injector = FaultInjector(
+            sim, FaultSchedule().partition(0.1, ["a"], 1.0)
+        )
+        with pytest.raises(ValueError, match="requires a PartitionState"):
+            injector.start()
+
+
+class TestInjectorExecution:
+    def _nsd(self):
+        nsd = Nsd(0, "nsd-test", total_blocks=16, block_size=BS)
+        nsd.store(3, 0, b"\x42" * BS)
+        nsd.store(9, 0, b"\x43" * BS)
+        return nsd
+
+    def test_corrupt_block_by_phys(self):
+        sim = Simulation()
+        nsd = self._nsd()
+        injector = FaultInjector(
+            sim,
+            FaultSchedule().corrupt_block(0.1, "nsd-test", phys=3),
+            nsds={"nsd-test": nsd},
+        )
+        injector.start()
+        sim.run(until=sim.timeout(0.2))
+        assert nsd.corruptions == 1
+        assert not nsd.verify_full(3)
+        assert nsd.verify_full(9)
+        assert injector.log == [(0.1, "corrupt_block", "nsd-test")]
+
+    def test_corrupt_block_by_index_picks_written_blocks(self):
+        sim = Simulation()
+        nsd = self._nsd()
+        injector = FaultInjector(
+            sim,
+            FaultSchedule()
+            .corrupt_block(0.1, "nsd-test", index=0)
+            .corrupt_block(0.2, "nsd-test", index=1),
+            nsds={"nsd-test": nsd},
+        )
+        injector.start()
+        sim.run(until=sim.timeout(0.3))
+        # index walks the sorted written set: 0 → phys 3, 1 → phys 9
+        assert not nsd.verify_full(3)
+        assert not nsd.verify_full(9)
+
+    def test_corrupt_block_with_nothing_written_is_an_error(self):
+        sim = Simulation()
+        nsd = Nsd(0, "nsd-test", total_blocks=16, block_size=BS)
+        injector = FaultInjector(
+            sim,
+            FaultSchedule().corrupt_block(0.1, "nsd-test", index=0),
+            nsds={"nsd-test": nsd},
+        )
+        injector.start()
+        with pytest.raises(RuntimeError, match="no written blocks"):
+            sim.run(until=sim.timeout(0.2))
+
+    def test_partition_lifecycle_driven_by_schedule(self):
+        sim = Simulation()
+        part = PartitionState(sim)
+        injector = FaultInjector(
+            sim,
+            FaultSchedule().partition(0.1, ["a"], 0.5),
+            partition=part,
+        )
+        injector.start()
+        sim.run(until=sim.timeout(0.2))
+        assert part.active and part.minority == frozenset({"a"})
+        sim.run(until=sim.timeout(0.5))
+        assert not part.active
+        assert part.heals == 1
+        assert [entry[1] for entry in injector.log] == [
+            "partition",
+            "partition_heal",
+        ]
+
+
+class TestCorruptionSemantics:
+    def test_checksum_left_intact_but_verification_fails(self):
+        nsd = Nsd(0, "n", total_blocks=4, block_size=BS)
+        nsd.store(0, 0, b"\x01" * BS)
+        before = nsd.checksum(0)
+        assert nsd.corrupt(0)
+        assert nsd.checksum(0) == before  # silent: the checksum still lies
+        assert not nsd.verify_full(0)
+
+    def test_full_overwrite_heals_rot(self):
+        nsd = Nsd(0, "n", total_blocks=4, block_size=BS)
+        nsd.store(0, 0, b"\x01" * BS)
+        nsd.corrupt(0)
+        nsd.store(0, 0, b"\x02" * BS)  # full-block overwrite
+        assert nsd.verify_full(0)
+
+    def test_partial_overwrite_does_not_vouch_for_rot(self):
+        nsd = Nsd(0, "n", total_blocks=4, block_size=BS)
+        nsd.store(0, 0, b"\x01" * BS)
+        nsd.corrupt(0)
+        nsd.store(0, 0, b"\x02" * (BS // 2))  # partial: poison survives
+        assert not nsd.verify_full(0)
+
+    def test_size_only_mode_poison_is_authoritative(self):
+        nsd = Nsd(0, "n", total_blocks=4, block_size=BS, store_data=False)
+        assert nsd.verify_full(0)  # nothing written, nothing wrong
+        nsd.corrupt(0)
+        assert not nsd.verify_full(0)
+        nsd.store(0, 0, b"\x00" * BS)
+        assert nsd.verify_full(0)

@@ -1,0 +1,231 @@
+"""Partitions and the quorum gate: park, don't split-brain."""
+
+import pytest
+
+from repro.core.replication import ReplicationPolicy
+from repro.faults import (
+    FaultSchedule,
+    PartitionState,
+    QuorumService,
+    RetryPolicy,
+    attach_faults,
+)
+from repro.sim import Simulation
+
+from tests.core.testbed import mounted, run_io, small_gfs
+
+BS = 256 * 1024
+PAYLOAD = 16 * BS
+
+
+class TestPartitionState:
+    def test_severed_only_across_the_cut(self):
+        sim = Simulation()
+        part = PartitionState(sim)
+        assert not part.severed("a", "b")  # inactive: nothing severed
+        part.begin(["a"])
+        assert part.active
+        assert part.in_minority("a")
+        assert part.severed("a", "b")
+        assert part.severed("b", "a")
+        assert not part.severed("b", "c")  # both in the majority
+        assert not part.severed("a", "a")
+        part.heal()
+        assert not part.severed("a", "b")
+        assert part.history and part.history[0][2] == frozenset({"a"})
+
+    def test_one_partition_at_a_time(self):
+        sim = Simulation()
+        part = PartitionState(sim)
+        part.begin(["a"])
+        with pytest.raises(RuntimeError):
+            part.begin(["b"])
+        part.heal()
+        with pytest.raises(RuntimeError):
+            part.heal()
+        with pytest.raises(ValueError):
+            part.begin([])
+
+    def test_wait_heal_instant_when_inactive(self):
+        sim = Simulation()
+        part = PartitionState(sim)
+        assert part.wait_heal().triggered  # no partition: already healed
+
+    def test_wait_heal_parks_until_heal(self):
+        sim = Simulation()
+        part = PartitionState(sim)
+        part.begin(["a"])
+        evt = part.wait_heal()
+        assert not evt.triggered
+        part.heal()
+        assert evt.triggered
+
+
+class TestQuorumService:
+    def test_trivially_true_without_partition(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        quorum = QuorumService(fs.service, None)
+        assert quorum.has_quorum("nsd0")
+        assert quorum.denials == 0
+
+    def test_minority_denied_majority_allowed(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        part = PartitionState(g.sim)
+        quorum = QuorumService(fs.service, part)
+        assert sorted(quorum.member_nodes()) == ["nsd0", "nsd1", "nsd2", "nsd3"]
+        part.begin(["nsd0"])
+        assert not quorum.has_quorum("nsd0")  # reaches 1 of 4
+        assert quorum.has_quorum("nsd1")  # reaches 3 of 4
+        assert quorum.denials == 1
+        part.heal()
+        assert quorum.has_quorum("nsd0")
+
+    def test_even_split_no_side_has_quorum(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        part = PartitionState(g.sim)
+        quorum = QuorumService(fs.service, part)
+        part.begin(["nsd0", "nsd1"])
+        assert not quorum.has_quorum("nsd0")  # 2*2 = 4, not > 4
+        assert not quorum.has_quorum("nsd2")
+
+
+def _write_file(g, m, nbytes=PAYLOAD, path="/f"):
+    def gen():
+        h = yield m.open(path, "w", create=True)
+        yield m.write(h, b"\x11" * int(nbytes))
+        yield m.close(h)
+
+    run_io(g, gen())
+
+
+def _timed_read(g, m, fs, nbytes=PAYLOAD, path="/f"):
+    """Invalidate the cache and read the whole file; returns (seconds, failed)."""
+    m.pool.invalidate(fs.namespace.resolve(path).ino)
+    failed = [0]
+
+    def gen():
+        h = yield m.open(path, "r")
+        pos = 0
+        while pos < nbytes:
+            n = min(BS, nbytes - pos)
+            try:
+                yield m.pread(h, pos, n)
+            except ConnectionError:
+                failed[0] += 1
+            pos += n
+        yield m.close(h)
+
+    t0 = g.sim.now
+    run_io(g, gen())
+    return g.sim.now - t0, failed[0]
+
+
+class TestMinorityParks:
+    def test_minority_manager_grants_no_tokens_until_heal(self):
+        # The token manager's node (nsd0) AND the client are cut off
+        # together: the grant request reaches a quorumless manager, which
+        # must park it rather than grant from the minority side.
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        m = mounted(g, cluster, node="c0")
+        t0 = g.sim.now
+        duration = 0.5
+        harness = attach_faults(
+            g.sim, fs.service, manager_node="nsd0",
+            schedule=FaultSchedule().partition(
+                t0 + 0.05, ["nsd0", "c0"], duration
+            ),
+            engine=g.engine, network=g.network, lease_duration=5.0,
+            retry=RetryPolicy(), retry_rng_streams=g.rng,
+            token_managers=[fs.token_manager],
+        )
+        g.run(until=g.sim.timeout(0.1))  # partition is now active
+        assert harness.partition.active
+
+        _write_file(g, m, nbytes=4 * BS)  # needs an RW token grant
+        t_done = g.sim.now
+        harness.stop()
+        assert fs.token_manager.quorum_parked_grants >= 1
+        assert t_done >= t0 + 0.05 + duration  # completed only after heal
+        metrics = harness.metrics()
+        assert metrics["quorum_denials"] >= 1.0
+        assert metrics["quorum_parked_grants"] >= 1.0
+
+    def test_quorumless_manager_declares_nobody_dead(self):
+        # Cut the manager off for longer than the lease: every server's
+        # renewal parks, every lease expires — and the minority manager
+        # must sit on its hands instead of declaring the healthy majority
+        # dead (split-brain).
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        m = mounted(g, cluster, node="c0")
+        _write_file(g, m)
+        t0 = g.sim.now
+        harness = attach_faults(
+            g.sim, fs.service, manager_node="nsd0",
+            schedule=FaultSchedule().partition(t0 + 0.1, ["nsd0"], 1.0),
+            engine=g.engine, network=g.network, lease_duration=0.3,
+            retry=RetryPolicy(), retry_rng_streams=g.rng,
+            token_managers=[fs.token_manager],
+        )
+        g.run(until=g.sim.timeout(2.5))  # partition + heal + settle
+        harness.stop()
+        metrics = harness.metrics()
+        assert metrics["quorum_suppressed_checks"] >= 1.0
+        assert metrics["failures_detected"] == 0.0  # nobody declared dead
+        assert metrics["failovers"] == 0.0
+        assert fs.service.down_nodes == set()
+
+    def test_parked_rpcs_complete_after_heal_throughput_recovers(self):
+        g, cluster, fs, _ = small_gfs(nsd_servers=4)
+        m = mounted(g, cluster, node="c0", readahead=4)
+        _write_file(g, m)
+        nominal, failed = _timed_read(g, m, fs)
+        assert failed == 0
+
+        t0 = g.sim.now
+        duration = 0.4
+        harness = attach_faults(
+            g.sim, fs.service, manager_node="nsd0",
+            schedule=FaultSchedule().partition(t0 + 0.02, ["nsd1"], duration),
+            engine=g.engine, network=g.network, lease_duration=5.0,
+            retry=RetryPolicy(), retry_rng_streams=g.rng,
+            token_managers=[fs.token_manager],
+        )
+        # Reads striped over nsd1 park mid-stream; none may fail.
+        partitioned, failed = _timed_read(g, m, fs)
+        assert failed == 0
+        assert partitioned > nominal  # the stall is real
+        assert harness.metrics()["partition_parked_rpcs"] >= 1.0
+
+        # After heal the data path carries no scars: a fresh read of the
+        # same file completes within 5% of nominal.
+        recovered, failed = _timed_read(g, m, fs)
+        harness.stop()
+        assert failed == 0
+        assert recovered <= nominal * 1.05
+
+    def test_replicated_write_during_partition_heals_clean(self):
+        # Replicated writes during a partition of one server park on that
+        # replica; quorum="all" means the write acks only once every copy
+        # (including the parked one) lands — after heal, no replica is
+        # stale and nothing needs repair.
+        g, cluster, fs, _ = small_gfs(
+            nsd_servers=4,
+            replication=ReplicationPolicy(copies=2, verify_reads=True),
+        )
+        m = mounted(g, cluster, node="c0")
+        t0 = g.sim.now
+        harness = attach_faults(
+            g.sim, fs.service, manager_node="nsd0",
+            schedule=FaultSchedule().partition(t0 + 0.02, ["nsd1"], 0.4),
+            engine=g.engine, network=g.network, lease_duration=5.0,
+            retry=RetryPolicy(), retry_rng_streams=g.rng,
+            token_managers=[fs.token_manager],
+        )
+        _write_file(g, m, nbytes=8 * BS)
+        g.run(until=g.sim.timeout(1.0))
+        harness.stop()
+        inode = fs.namespace.resolve("/f")
+        assert fs.integrity.quorum_failures == 0
+        for block_index in inode.blocks:
+            for nsd_id, phys in fs.replica_placements(inode, block_index):
+                assert fs.nsds[nsd_id].verify_full(phys)

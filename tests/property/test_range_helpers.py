@@ -1,0 +1,95 @@
+"""Property tests for the pure range helpers in repro.core.tokens.
+
+``merge_ranges``/``covers``/``HeldToken.conflicts_with`` carry the token
+manager's correctness; each is checked against a brute-force oracle over
+randomly generated half-open intervals.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tokens import RO, RW, HeldToken, covers, merge_ranges
+
+interval = st.tuples(st.integers(0, 200), st.integers(1, 60)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+intervals = st.lists(interval, max_size=12)
+
+
+def _point_set(ranges):
+    out = set()
+    for start, end in ranges:
+        out.update(range(start, end))
+    return out
+
+
+class TestMergeRanges:
+    @given(ranges=intervals)
+    def test_union_of_points_is_preserved(self, ranges):
+        assert _point_set(merge_ranges(ranges)) == _point_set(ranges)
+
+    @given(ranges=intervals)
+    def test_output_sorted_disjoint_nonadjacent(self, ranges):
+        merged = merge_ranges(ranges)
+        for (a_start, a_end), (b_start, b_end) in zip(merged, merged[1:]):
+            assert a_start < a_end
+            assert a_end < b_start  # strictly separated, never touching
+
+    @given(ranges=intervals)
+    def test_idempotent(self, ranges):
+        merged = merge_ranges(ranges)
+        assert merge_ranges(merged) == merged
+
+    @given(ranges=intervals)
+    def test_order_insensitive(self, ranges):
+        assert merge_ranges(list(reversed(ranges))) == merge_ranges(ranges)
+
+
+class TestCovers:
+    @given(ranges=intervals, probe=interval)
+    def test_matches_pointwise_oracle(self, ranges, probe):
+        start, end = probe
+        want = set(range(start, end)) <= _point_set(ranges)
+        assert covers(ranges, start, end) == want
+
+    @given(ranges=intervals)
+    def test_every_member_range_is_covered(self, ranges):
+        for start, end in ranges:
+            assert covers(ranges, start, end)
+
+    @given(probe=interval)
+    def test_nothing_covered_by_empty(self, probe):
+        start, end = probe
+        assert not covers([], start, end)
+
+
+held = st.builds(
+    HeldToken,
+    holder=st.sampled_from(["c0", "c1", "c2"]),
+    mode=st.sampled_from([RO, RW]),
+    start=st.integers(0, 200),
+    end=st.integers(201, 400),
+)
+
+
+class TestConflictsWith:
+    @given(a=held, b=held)
+    def test_symmetric(self, a, b):
+        assert a.conflicts_with(b.holder, b.mode, b.start, b.end) == (
+            b.conflicts_with(a.holder, a.mode, a.start, a.end)
+        )
+
+    @given(a=held, b=held)
+    def test_oracle(self, a, b):
+        overlap = a.start < b.end and b.start < a.end
+        want = a.holder != b.holder and overlap and RW in (a.mode, b.mode)
+        assert a.conflicts_with(b.holder, b.mode, b.start, b.end) == want
+
+    @given(a=held, mode=st.sampled_from([RO, RW]), probe=interval)
+    def test_never_conflicts_with_own_holder(self, a, mode, probe):
+        assert not a.conflicts_with(a.holder, mode, *probe)
+
+    @given(a=held, b=held)
+    def test_ro_ro_never_conflicts(self, a, b):
+        if a.mode == RO and b.mode == RO:
+            assert not a.conflicts_with(b.holder, b.mode, b.start, b.end)

@@ -25,6 +25,23 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_run_list_prints_every_experiment(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("E1", "E13", "E14", "A6"):
+            assert exp_id in out
+
+    def test_run_without_id_lists_instead_of_crashing(self, capsys):
+        assert main(["run"]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_run_unknown_id_exits_with_the_list(self, capsys):
+        rc = main(["run", "E99", "--quick"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "unknown experiment id 'E99'" in out
+        assert "E14" in out  # the list is printed, not a traceback
+
     def test_trace_subcommand_writes_chrome_json(self, capsys, tmp_path):
         import json
 
