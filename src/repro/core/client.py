@@ -12,7 +12,15 @@ on:
 * **read-ahead** — sequential reads prefetch upcoming blocks;
 * **token caching** — byte-range tokens are acquired once and kept until a
   conflicting client forces a revoke, which flushes and invalidates the
-  affected cache range (close-to-open coherence across sites).
+  affected cache range (close-to-open coherence across sites);
+* **transfer coalescing** (opt-in, ``max_coalesce > 1``) — contiguous
+  same-server physical block runs from reads/read-ahead and write-behind
+  are planned by :func:`plan_transfers` and moved through one
+  scatter-gather RPC (``NsdService.read_blocks``/``write_blocks``)
+  instead of per-block round trips. Off by default (``max_coalesce=1``)
+  the data path is byte-for-byte the legacy per-block code, so calibrated
+  experiment shapes are untouched; replicated filesystems always use the
+  legacy path (replica fan-out stays per block).
 
 Identity: each mount carries an :class:`Identity` (numeric uid/gid plus
 optional GSI DN). Files record both; permission checks prefer the DN when
@@ -58,6 +66,58 @@ ROOT = Identity(uid=0, gid=0, username="root")
 WHOLE_FILE = 1 << 62
 
 
+@dataclass(frozen=True)
+class TransferRun:
+    """One planned scatter-gather RPC: contiguous physical blocks of one NSD.
+
+    ``phys`` and ``blocks`` are parallel: ``phys[i]`` is the physical block
+    backing logical block index ``blocks[i]``.
+    """
+
+    nsd_id: int
+    phys: Tuple[int, ...]
+    blocks: Tuple[int, ...]
+
+
+def plan_transfers(
+    placed: "List[Tuple[int, int, int]]", max_coalesce: int
+) -> "List[TransferRun]":
+    """Group ``(nsd_id, phys, block_index)`` triples into coalesced runs.
+
+    Triples are sorted by ``(nsd_id, phys)`` so a striped file's blocks
+    regroup into per-server sequential runs; a run breaks on an NSD
+    change, a physical-address gap, or reaching ``max_coalesce`` blocks.
+    Deterministic: equal inputs always yield identical plans.
+    """
+    runs: List[TransferRun] = []
+    if not placed:
+        return runs
+    chunk: List[Tuple[int, int, int]] = []
+    for item in sorted(placed):
+        if chunk and (
+            item[0] != chunk[-1][0]
+            or item[1] != chunk[-1][1] + 1
+            or len(chunk) >= max_coalesce
+        ):
+            runs.append(
+                TransferRun(
+                    nsd_id=chunk[0][0],
+                    phys=tuple(p for _, p, _ in chunk),
+                    blocks=tuple(b for _, _, b in chunk),
+                )
+            )
+            chunk = []
+        chunk.append(item)
+    runs.append(
+        TransferRun(
+            nsd_id=chunk[0][0],
+            phys=tuple(p for _, p, _ in chunk),
+            blocks=tuple(b for _, _, b in chunk),
+        )
+    )
+    return runs
+
+
 class FileHandle:
     """An open file."""
 
@@ -98,12 +158,15 @@ class MountedFs:
         pagepool_bytes: int = MiB(256),
         readahead: int = 8,
         writebehind: int = 8,
+        max_coalesce: int = 1,
         tags: Tuple[str, ...] = (),
     ) -> None:
         if access not in ("ro", "rw"):
             raise ValueError("access must be 'ro' or 'rw'")
         if readahead < 0 or writebehind < 1:
             raise ValueError("readahead must be >=0 and writebehind >=1")
+        if max_coalesce < 1:
+            raise ValueError("max_coalesce must be >=1")
         self.fs = fs
         self.sim: Simulation = fs.sim
         self.node = node
@@ -112,6 +175,7 @@ class MountedFs:
         self.tags = tags
         self.pool = PagePool(int(pagepool_bytes), fs.block_size)
         self.readahead = readahead
+        self.max_coalesce = max_coalesce
         self.tokens = TokenClient(fs.token_manager, node, self._revoke_flush)
         self._flush_slots = Resource(self.sim, capacity=writebehind, name=f"{node}-flush")
         self._flushing: Dict[Tuple[int, int], Event] = {}
@@ -366,26 +430,39 @@ class MountedFs:
         # after the wait collapses the pipeline to the read size and costs
         # a full WAN RTT per read.)
         sequential = first_block in (handle._last_block, handle._last_block + 1)
+        ahead: List[int] = []
         if self.readahead and sequential:
             max_block = (max(0, inode.size - 1)) // geometry.block_size
             edge_end = min(last_block + self.readahead, max_block)
             for nxt in range(max(last_block + 1, handle._ra_edge + 1), edge_end + 1):
                 if self.pool.peek(inode.ino, nxt) is None:
-                    self._fetch_block(inode, nxt)  # async, not awaited
+                    ahead.append(nxt)
             handle._ra_edge = max(handle._ra_edge, edge_end)
-        # fetch every missing block of the read itself in parallel
-        fetches = []
-        for piece in pieces:
-            key = (inode.ino, piece.block_index)
-            if self.pool.peek(key[0], key[1]) is None:
-                fetches.append(self._fetch_block(inode, piece.block_index))
+        need = [
+            piece.block_index
+            for piece in pieces
+            if self.pool.peek(inode.ino, piece.block_index) is None
+        ]
+        if self._coalescing:
+            # One transfer plan over the read's own misses *and* the
+            # read-ahead window: striped neighbours regroup into
+            # per-server scatter-gather runs. Await only the read's own
+            # blocks; the rest of each run completes asynchronously.
+            events = self._fetch_blocks(inode, need + ahead)
+            fetches = [events[b] for b in need]
+        else:
+            for nxt in ahead:
+                self._fetch_block(inode, nxt)  # async, not awaited
+            # fetch every missing block of the read itself in parallel
+            fetches = [self._fetch_block(inode, b) for b in need]
         if fetches:
             yield self.sim.all_of(fetches)
         handle._last_block = last_block
         # assemble; a block may have been evicted between its fetch and this
         # point when the read is larger than the page pool — re-fetch it
         # (bounded, so a broken pool cannot livelock the read)
-        out: List[bytes] = []
+        out: List["bytes | memoryview | int"] = []
+        have_data = False
         for piece in pieces:
             entry = self.pool.get(inode.ino, piece.block_index)
             attempts = 0
@@ -399,16 +476,32 @@ class MountedFs:
                     "enough to assemble a read (pool too small?)"
                 )
             if entry.data is None:
-                out.append(bytes(piece.length))
+                # Size-only cache entry: defer the zero-fill (int marker)
+                # so an all-zeros read collapses to one allocation below.
+                out.append(piece.length)
             else:
+                # Zero-copy slice: cached blobs are immutable bytes (pool
+                # writes replace the object, never mutate it), so a view
+                # stays valid across the loop and join() copies each piece
+                # exactly once instead of twice.
+                have_data = True
                 blob = entry.data
-                piece_data = blob[piece.offset : piece.offset + piece.length]
+                end = piece.offset + piece.length
+                piece_data = memoryview(blob)[piece.offset : end]
                 if len(piece_data) < piece.length:
-                    piece_data += b"\x00" * (piece.length - len(piece_data))
+                    piece_data = bytes(piece_data) + b"\x00" * (
+                        piece.length - len(piece_data)
+                    )
                 out.append(piece_data)
         inode.atime = self.sim.now
         self.bytes_read += length
-        return b"".join(out)
+        if not have_data:
+            # Size-only filesystem: the pieces tile [offset, offset+length)
+            # exactly, so this equals the join of their zero blobs.
+            return bytes(length)
+        return b"".join(
+            bytes(part) if type(part) is int else part for part in out
+        )
 
     def _fetch_block(self, inode: Inode, block_index: int) -> Event:
         """Fetch one block into the pool (deduplicated across callers)."""
@@ -455,15 +548,139 @@ class MountedFs:
         self.sim.process(_proc(), name=f"fetchp:{key}")
         return done
 
+    @property
+    def _coalescing(self) -> bool:
+        """Scatter-gather transfers on? (Replication keeps per-block fan-out.)"""
+        return self.max_coalesce > 1 and not self.fs.replication.active
+
+    def _fetch_blocks(self, inode: Inode, indices: List[int]) -> Dict[int, Event]:
+        """Fetch several blocks, coalescing contiguous same-NSD runs.
+
+        Returns ``{block_index: done_event}`` so the caller can await any
+        subset. Blocks already in flight reuse their existing event; sparse
+        or lone blocks take the per-block path.
+        """
+        events: Dict[int, Event] = {}
+        todo: List[Tuple[int, int, int]] = []
+        for block in indices:
+            inflight = self._fetching.get((inode.ino, block))
+            if inflight is not None:
+                events[block] = inflight
+                continue
+            placed = self.fs.lookup_block(inode, block)
+            if placed is None:  # sparse: zero-fill, no RPC to merge
+                events[block] = self._fetch_block(inode, block)
+                continue
+            todo.append((placed[0], placed[1], block))
+        for run in plan_transfers(todo, self.max_coalesce):
+            if len(run.blocks) == 1:
+                events[run.blocks[0]] = self._fetch_block(inode, run.blocks[0])
+            else:
+                events.update(self._fetch_run(inode, run))
+        return events
+
+    def _fetch_run(self, inode: Inode, run: TransferRun) -> Dict[int, Event]:
+        """One scatter-gather read RPC filling every block of ``run``."""
+        ino = inode.ino
+        dones: Dict[int, Event] = {}
+        for block in run.blocks:
+            done = self.sim.event(name=f"fetch:{(ino, block)}")
+            self._fetching[(ino, block)] = done
+            dones[block] = done
+
+        def _proc():
+            datas = yield self.fs.service.read_blocks(
+                self.node, run.nsd_id, run.phys, tags=self.tags + ("read",)
+            )
+            for block, data in zip(run.blocks, datas):
+                if not self.fs.store_data:
+                    data = None
+                if self.pool.peek(ino, block) is None:
+                    self.pool.put_clean(ino, block, data, self.fs.block_size)
+                del self._fetching[(ino, block)]
+                dones[block].succeed()
+
+        self.sim.process(
+            _proc(), name=f"fetchr:{ino}:{run.blocks[0]}+{len(run.blocks)}"
+        )
+        return dones
+
     # -- write-behind -----------------------------------------------------------
 
     def _kick_flushes(self, ino: int) -> None:
+        if self._coalescing:
+            self._kick_flushes_coalesced(ino)
+            return
         for block in self.pool.dirty_blocks(ino):
             key = (ino, block)
             if key not in self._flushing:
                 done = self.sim.event(name=f"flush:{key}")
                 self._flushing[key] = done
                 self.sim.process(self._flush_block(key, done), name=f"flushp:{key}")
+
+    def _kick_flushes_coalesced(self, ino: int) -> None:
+        """Plan dirty blocks into scatter-gather flush runs.
+
+        Each block still gets its own done event in ``self._flushing`` so
+        ``_fsync``/``_revoke_flush`` wait exactly as in the legacy path.
+        """
+        inode = self.fs.inodes.get(ino)
+        todo: List[Tuple[int, int, int]] = []
+        for block in self.pool.dirty_blocks(ino):
+            if (ino, block) in self._flushing:
+                continue
+            nsd_id, phys = self.fs.ensure_block(inode, block)
+            todo.append((nsd_id, phys, block))
+        for run in plan_transfers(todo, self.max_coalesce):
+            if len(run.blocks) == 1:
+                key = (ino, run.blocks[0])
+                done = self.sim.event(name=f"flush:{key}")
+                self._flushing[key] = done
+                self.sim.process(self._flush_block(key, done), name=f"flushp:{key}")
+                continue
+            dones: Dict[int, Event] = {}
+            for block in run.blocks:
+                key = (ino, block)
+                done = self.sim.event(name=f"flush:{key}")
+                self._flushing[key] = done
+                dones[block] = done
+            self.sim.process(
+                self._flush_run(ino, run, dones),
+                name=f"flushr:{ino}:{run.blocks[0]}+{len(run.blocks)}",
+            )
+
+    def _flush_run(self, ino: int, run: TransferRun, dones: Dict[int, Event]):
+        """Flush a planned run through one ``write_blocks`` RPC.
+
+        Holds one flush slot for the whole run (one RPC, one slot) and
+        re-checks dirtiness per block once the slot is granted — a block
+        cleaned in the meantime just drops out of the run.
+        """
+        try:
+            with self._flush_slots.request() as slot:
+                yield slot
+                items: List[Tuple[int, int, "bytes | int"]] = []
+                for phys, block in zip(run.phys, run.blocks):
+                    entry = self.pool.peek(ino, block)
+                    if entry is None or not entry.dirty:
+                        continue
+                    lo, hi = entry.dirty_lo, entry.dirty_hi
+                    if entry.data is not None:
+                        payload: "bytes | int" = entry.data[lo:hi]
+                        if len(payload) < hi - lo:
+                            payload = payload + b"\x00" * (hi - lo - len(payload))
+                    else:
+                        payload = hi - lo
+                    self.pool.mark_clean(ino, block)  # rewrites re-dirty
+                    items.append((phys, lo, payload))
+                if items:
+                    yield self.fs.service.write_blocks(
+                        self.node, run.nsd_id, items, tags=self.tags + ("write",)
+                    )
+        finally:
+            for block in run.blocks:
+                del self._flushing[(ino, block)]
+                dones[block].succeed()
 
     def _flush_block(self, key: Tuple[int, int], done: Event):
         ino, block = key

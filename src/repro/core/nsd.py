@@ -30,6 +30,7 @@ from repro.net.flow import FlowEngine
 from repro.net.message import MessageService
 from repro.net.tcp import TcpModel
 from repro.sim.kernel import Event, Simulation
+from repro.sim.profile import PROFILE
 from repro.sim.trace import TRACE
 from repro.storage.array import Lun
 from repro.storage.san import Hba
@@ -79,6 +80,10 @@ class Nsd:
         self.reads = 0
         self.writes = 0
         self.corruptions = 0
+        #: Shared zero block for size-only fetches (immutable, so one
+        #: instance can serve every full-block read without a 256 KiB
+        #: allocation per RPC).
+        self._zero: Optional[bytes] = None
 
     @property
     def capacity(self) -> int:
@@ -166,6 +171,11 @@ class Nsd:
             raise ValueError("read exceeds block bounds")
         self.reads += 1
         if not self.store_data:
+            if length == self.block_size:
+                zero = self._zero
+                if zero is None:
+                    zero = self._zero = bytes(int(self.block_size))
+                return zero
             return bytes(length)
         blob = self._data.get(phys, b"")
         piece = blob[offset : offset + length]
@@ -296,6 +306,7 @@ class NsdService:
         self.retries = 0
         self.rpc_timeouts = 0
         self.checksum_failures = 0
+        self.checksum_verifications = 0
         #: Network partition state (repro.faults.PartitionState); None (or
         #: a healed partition) adds zero event hops to the data path.
         self.partition = None
@@ -390,15 +401,20 @@ class NsdService:
     # -- crash awareness ------------------------------------------------------
 
     def _guard(self, server: NsdServer):
-        """No-op while ``server``'s node is up; otherwise park until the
-        lease detector declares it down (or the node restarts), then raise
-        :class:`NsdServerDown` so the retry layer can fail over.
-
-        Yields nothing at all in the healthy case, so attaching health
-        tracking adds zero event hops to the nominal data path.
+        """Returns ``None`` while ``server``'s node is up — the fault-free
+        fast path, no generator built at all (counter
+        ``kernel.guard_fastpath`` proves it) — otherwise a generator that
+        parks until the lease detector declares the node down (or it
+        restarts), then raises :class:`NsdServerDown` so the retry layer
+        can fail over. Call sites ``yield from`` only the non-None case.
         """
         if self.health is None or self.health.is_up(server.node):
-            return
+            if PROFILE.enabled:
+                PROFILE.count("kernel.guard_fastpath")
+            return None
+        return self._guard_park(server)
+
+    def _guard_park(self, server: NsdServer):
         yield self.sim.any_of(
             [
                 self._down_declared(server.node),
@@ -410,23 +426,26 @@ class NsdService:
         )
 
     def _partition_wait(self, client_node: str, server_node: str):
-        """Park while a partition severs the client from the server.
-
-        Yields nothing at all when no partition is active (or the pair is
-        on the same side), so the nominal data path is untouched. A parked
-        RPC resumes after heal — the per-attempt retry timeout decides
+        """Returns ``None`` when no partition severs the pair (fast path,
+        zero overhead beyond this call); otherwise a generator that parks
+        until the partition heals — the per-attempt retry timeout decides
         whether the caller waits or abandons the attempt.
         """
         part = self.partition
         if part is None or not part.severed(client_node, server_node):
-            return
+            if PROFILE.enabled:
+                PROFILE.count("kernel.guard_fastpath")
+            return None
+        return self._partition_park(client_node, server_node)
+
+    def _partition_park(self, client_node: str, server_node: str):
         self.partition_parked += 1
         if TRACE.enabled:
             TRACE.instant(
                 self.sim, "nsd.partition_park", cat="fault.partition",
                 lane="faults", client=client_node, server=server_node,
             )
-        yield part.wait_heal()
+        yield self.partition.wait_heal()
 
     def _pair_kwargs(self, src: str, dst: str) -> dict:
         kw: dict = {}
@@ -461,8 +480,12 @@ class NsdService:
     def _write(self, client_node, nsd_id, phys, offset, data, sequential, tags):
         nsd = self.nsds[nsd_id]
         server = self.server_of(nsd_id)
-        yield from self._partition_wait(client_node, server.node)
-        yield from self._guard(server)
+        parked = self._partition_wait(client_node, server.node)
+        if parked is not None:
+            yield from parked
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
         if isinstance(data, int):
             length = data
             payload: bytes | None = None
@@ -497,7 +520,9 @@ class NsdService:
         )
         if sid:
             tr.end(self.sim, sid)
-        yield from self._guard(server)
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
         # 2. media write
         sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
                        lane=lane) if tr else 0
@@ -513,7 +538,9 @@ class NsdService:
                 nsd._poisoned.discard(phys)  # full overwrite heals injected rot
             nsd.writes += 1  # size-only mode: count, no contents to keep
         self.blocks_written += 1
-        yield from self._guard(server)
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
         # 3. ack back to client
         sid = tr.begin(self.sim, "net.ack", cat="nsd.net", lane=lane) if tr else 0
         yield self.messages.send(server.node, client_node, nbytes=self.CONTROL_BYTES)
@@ -552,8 +579,12 @@ class NsdService:
               verify=False):
         nsd = self.nsds[nsd_id]
         server = self.server_of(nsd_id)
-        yield from self._partition_wait(client_node, server.node)
-        yield from self._guard(server)
+        parked = self._partition_wait(client_node, server.node)
+        if parked is not None:
+            yield from parked
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
         tr = TRACE if TRACE.enabled else None
         lane = f"nsd:{server.name}"
         rpc = tr.begin(
@@ -565,7 +596,9 @@ class NsdService:
         yield self.messages.send(client_node, server.node, nbytes=self.CONTROL_BYTES)
         if sid:
             tr.end(self.sim, sid)
-        yield from self._guard(server)
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
         # 2. media read
         sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
                        lane=lane) if tr else 0
@@ -573,7 +606,9 @@ class NsdService:
         if sid:
             tr.end(self.sim, sid)
         data = nsd.fetch(phys, offset, length)
-        yield from self._guard(server)
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
         # 2b. software crypto stages (encrypt at the server, decrypt at the
         #     client — each node's CPU is a shared pipe)
         if self.crypto_resolver is not None:
@@ -601,17 +636,230 @@ class NsdService:
         # 4. end-to-end verification at the client, over the bytes that
         #    actually crossed the network (zero sim-time: CPU cost of a
         #    CRC is negligible next to a WAN block transfer).
-        if verify and not nsd.verify_full(phys, data if nsd.store_data else None):
-            self.checksum_failures += 1
-            if tr:
-                tr.instant(
-                    self.sim, "nsd.checksum_mismatch", cat="fault.integrity",
-                    lane=lane, nsd=nsd_id, phys=phys, client=client_node,
+        if verify:
+            self.checksum_verifications += 1
+            if not nsd.verify_full(phys, data if nsd.store_data else None):
+                self.checksum_failures += 1
+                if tr:
+                    tr.instant(
+                        self.sim, "nsd.checksum_mismatch", cat="fault.integrity",
+                        lane=lane, nsd=nsd_id, phys=phys, client=client_node,
+                    )
+                raise ChecksumError(
+                    f"block {phys} on {nsd.name} failed end-to-end verification"
                 )
-            raise ChecksumError(
-                f"block {phys} on {nsd.name} failed end-to-end verification"
-            )
         return data
+
+    # -- coalesced multi-block ops --------------------------------------------
+
+    def write_blocks(
+        self,
+        client_node: str,
+        nsd_id: int,
+        items,
+        sequential: bool = True,
+        tags: tuple[str, ...] = (),
+    ) -> Event:
+        """Scatter-gather write of several blocks of one NSD in one RPC.
+
+        ``items`` is ``[(phys, offset, data_or_len), ...]`` — typically a
+        run of contiguous physical blocks planned by
+        :func:`repro.core.client.plan_transfers`. The run shares one
+        control round trip, one engine transfer of the combined length,
+        and one aggregated sequential disk I/O; the logical effect
+        (per-block store, rot healing, write counts) is applied per block,
+        identical to ``len(items)`` separate :meth:`write_block` calls.
+        The event's value is the total byte count.
+        """
+        items = tuple(items)
+        if len(items) == 1:
+            phys, offset, data = items[0]
+            return self.write_block(
+                client_node, nsd_id, phys, offset, data, sequential, tags
+            )
+        args = (client_node, nsd_id, items, sequential, tags)
+        if self.retry is not None:
+            return self.sim.process(
+                self._with_retry("write_multi", args), name="nsd-writem"
+            )
+        return self.sim.process(self._write_multi(*args), name="nsd-writem")
+
+    def _write_multi(self, client_node, nsd_id, items, sequential, tags):
+        nsd = self.nsds[nsd_id]
+        server = self.server_of(nsd_id)
+        parked = self._partition_wait(client_node, server.node)
+        if parked is not None:
+            yield from parked
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
+        lengths = [d if isinstance(d, int) else len(d) for _, _, d in items]
+        total = sum(lengths)
+        if PROFILE.enabled:
+            PROFILE.count("nsd.coalesced_rpcs")
+            PROFILE.count("nsd.coalesced_blocks", len(items))
+        tr = TRACE if TRACE.enabled else None
+        lane = f"nsd:{server.name}"
+        rpc = tr.begin(
+            self.sim, "nsd.write_blocks", cat="nsd.rpc", lane=lane,
+            client=client_node, server=server.node, nsd=nsd_id,
+            bytes=total, blocks=len(items),
+        ) if tr else 0
+        if self.crypto_resolver is not None:
+            for pipe in self.crypto_resolver(client_node, server.node):
+                sid = tr.begin(self.sim, "crypto", cat="nsd.crypto",
+                               lane=lane) if tr else 0
+                yield pipe.transfer(total)
+                if sid:
+                    tr.end(self.sim, sid)
+        # 1. one data flow client → server for the whole run
+        sid = tr.begin(self.sim, "net.data", cat="nsd.net", lane=lane,
+                       src=client_node, dst=server.node) if tr else 0
+        yield self.engine.transfer(
+            client_node,
+            server.node,
+            total,
+            tags=tuple(tags) + server.tags,
+            **self._pair_kwargs(client_node, server.node),
+        )
+        if sid:
+            tr.end(self.sim, sid)
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
+        # 2. one aggregated sequential media write
+        sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
+                       lane=lane) if tr else 0
+        yield server.disk_io(self.sim, nsd, "write", total, sequential)
+        if sid:
+            tr.end(self.sim, sid)
+        # logical effect, per block — identical to the per-RPC path
+        for (phys, offset, data), length in zip(items, lengths):
+            if isinstance(data, int):
+                nsd._check_block(phys)
+                if offset == 0 and length == nsd.block_size:
+                    nsd._poisoned.discard(phys)
+                nsd.writes += 1
+            else:
+                nsd.store(phys, offset, data)
+            self.blocks_written += 1
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
+        # 3. one ack back to the client
+        sid = tr.begin(self.sim, "net.ack", cat="nsd.net", lane=lane) if tr else 0
+        yield self.messages.send(server.node, client_node, nbytes=self.CONTROL_BYTES)
+        if sid:
+            tr.end(self.sim, sid)
+        if rpc:
+            tr.end(self.sim, rpc)
+        return total
+
+    def read_blocks(
+        self,
+        client_node: str,
+        nsd_id: int,
+        phys_list,
+        sequential: bool = True,
+        tags: tuple[str, ...] = (),
+        verify: bool = False,
+    ) -> Event:
+        """Scatter-gather full-block read of one NSD in one RPC.
+
+        ``phys_list`` is a run of physical block numbers (contiguous for
+        the aggregated-seek benefit, though any list works). One control
+        round trip, one aggregated disk read, one engine transfer of the
+        combined length; fetch and (with ``verify=True``) end-to-end
+        checksum verification happen per block, identical to separate
+        :meth:`read_block` calls. The event's value is ``[bytes, ...]`` in
+        ``phys_list`` order.
+        """
+        phys_list = tuple(phys_list)
+        args = (client_node, nsd_id, phys_list, sequential, tags, verify)
+        if self.retry is not None:
+            return self.sim.process(
+                self._with_retry("read_multi", args), name="nsd-readm"
+            )
+        return self.sim.process(self._read_multi(*args), name="nsd-readm")
+
+    def _read_multi(self, client_node, nsd_id, phys_list, sequential, tags,
+                    verify=False):
+        nsd = self.nsds[nsd_id]
+        bs = nsd.block_size
+        server = self.server_of(nsd_id)
+        parked = self._partition_wait(client_node, server.node)
+        if parked is not None:
+            yield from parked
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
+        total = bs * len(phys_list)
+        if PROFILE.enabled:
+            PROFILE.count("nsd.coalesced_rpcs")
+            PROFILE.count("nsd.coalesced_blocks", len(phys_list))
+        tr = TRACE if TRACE.enabled else None
+        lane = f"nsd:{server.name}"
+        rpc = tr.begin(
+            self.sim, "nsd.read_blocks", cat="nsd.rpc", lane=lane,
+            client=client_node, server=server.node, nsd=nsd_id,
+            bytes=total, blocks=len(phys_list),
+        ) if tr else 0
+        # 1. one request message client → server
+        sid = tr.begin(self.sim, "net.request", cat="nsd.net", lane=lane) if tr else 0
+        yield self.messages.send(client_node, server.node, nbytes=self.CONTROL_BYTES)
+        if sid:
+            tr.end(self.sim, sid)
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
+        # 2. one aggregated sequential media read
+        sid = tr.begin(self.sim, "disk.service", cat="nsd.disk",
+                       lane=lane) if tr else 0
+        yield server.disk_io(self.sim, nsd, "read", total, sequential)
+        if sid:
+            tr.end(self.sim, sid)
+        datas = [nsd.fetch(phys, 0, bs) for phys in phys_list]
+        guard = self._guard(server)
+        if guard is not None:
+            yield from guard
+        if self.crypto_resolver is not None:
+            for pipe in self.crypto_resolver(server.node, client_node):
+                sid = tr.begin(self.sim, "crypto", cat="nsd.crypto",
+                               lane=lane) if tr else 0
+                yield pipe.transfer(total)
+                if sid:
+                    tr.end(self.sim, sid)
+        # 3. one data flow server → client for the whole run
+        sid = tr.begin(self.sim, "net.data", cat="nsd.net", lane=lane,
+                       src=server.node, dst=client_node) if tr else 0
+        yield self.engine.transfer(
+            server.node,
+            client_node,
+            total,
+            tags=tuple(tags) + server.tags,
+            **self._pair_kwargs(server.node, client_node),
+        )
+        if sid:
+            tr.end(self.sim, sid)
+        if rpc:
+            tr.end(self.sim, rpc)
+        self.blocks_read += len(phys_list)
+        # 4. per-block end-to-end verification at the client
+        if verify:
+            for phys, data in zip(phys_list, datas):
+                self.checksum_verifications += 1
+                if not nsd.verify_full(phys, data if nsd.store_data else None):
+                    self.checksum_failures += 1
+                    if tr:
+                        tr.instant(
+                            self.sim, "nsd.checksum_mismatch",
+                            cat="fault.integrity", lane=lane, nsd=nsd_id,
+                            phys=phys, client=client_node,
+                        )
+                    raise ChecksumError(
+                        f"block {phys} on {nsd.name} failed end-to-end verification"
+                    )
+        return datas
 
     # -- retry ----------------------------------------------------------------
 
@@ -630,7 +878,7 @@ class NsdService:
         rng = self._retry_rng_for(args[0])
         last: BaseException | None = None
         for attempt in range(1, policy.max_attempts + 1):
-            gen = self._write(*args) if kind == "write" else self._read(*args)
+            gen = getattr(self, f"_{kind}")(*args)
             proc = self.sim.process(gen, name=f"nsd-{kind}-try{attempt}")
             timer = self.sim.timeout(policy.rpc_timeout)
             try:

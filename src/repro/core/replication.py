@@ -180,8 +180,17 @@ class ReplicaManager:
         Primary (index 0) wins ties; a replica behind a down server costs
         more than a healthy one (it would burn failover or retries), and
         an NSD whose last write failed costs the most.
+
+        Fault-free fast path: with no down nodes and no suspect NSDs every
+        penalty is zero, and a stable sort of all-zero penalties is the
+        input order — skip the sort entirely. (Hot: replicated reads call
+        this once per block; client-side transfer coalescing falls back to
+        per-block RPCs whenever replication is active, precisely so this
+        per-replica ordering and fan-out stay intact.)
         """
         service = self.fs.service
+        if not service.down_nodes and not self.suspect_nsds:
+            return list(placements)
 
         def cost(item: Tuple[int, Placement]) -> Tuple[int, int]:
             idx, (nsd_id, _) = item

@@ -56,39 +56,65 @@ def _water_fill(
     bool would be a logical OR, not a count). Only flows in ``unfixed``
     participate; columns outside it must already hold their final rate 0
     contribution (pathless flows never enter here).
+
+    Bit-identity note: the per-flow fair share is a *min* over the links
+    of a path and the per-link active count is a sum of 1.0s — both are
+    exact in IEEE floats under any evaluation order, so the sparse
+    gather/``reduceat``/``bincount`` formulation below produces the same
+    bits as the dense ``where(...).min(axis=0)`` / ``Mf @ unfixed`` it
+    replaces. The ``remaining`` update, by contrast, is a genuine float
+    sum whose rounding depends on association — it stays the exact
+    ``Mf @ (rates * mask)`` matvec.
     """
     nlinks, nflows = M.shape
     remaining = caps.copy()
 
+    # CSC view: for each flow (in column order), the link rows it crosses.
+    flows_cat, links_cat = np.nonzero(M.T)
+    per_flow = np.bincount(flows_cat, minlength=nflows)
+    sparse = bool(nflows) and bool(per_flow.all())  # reduceat needs >=1 link/flow
+    if sparse:
+        starts = np.zeros(nflows, dtype=np.intp)
+        np.cumsum(per_flow[:-1], out=starts[1:])
+
     # Bound: every round fixes at least one flow (either the capped set, or
     # the flows of a newly saturated bottleneck link), so nflows + nlinks
     # rounds always suffice; the +2 covers the empty-set early exits.
-    for _ in range(nflows + nlinks + 2):
-        if not unfixed.any():
-            break
-        counts = Mf @ unfixed  # active flows per link
-        with np.errstate(divide="ignore", invalid="ignore"):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for _ in range(nflows + nlinks + 2):
+            if not unfixed.any():
+                break
+            if sparse:
+                live_entries = unfixed[flows_cat]
+                counts = np.bincount(
+                    links_cat[live_entries], minlength=nlinks
+                ).astype(float)
+            else:
+                counts = Mf @ unfixed  # active flows per link
             share = np.where(counts > 0, remaining / np.maximum(counts, 1), np.inf)
-        # Per-flow fair share: min share over the links of its path.
-        shares_per_flow = np.where(M, share[:, None], np.inf).min(axis=0)
+            # Per-flow fair share: min share over the links of its path.
+            if sparse:
+                shares_per_flow = np.minimum.reduceat(share[links_cat], starts)
+            else:
+                shares_per_flow = np.where(M, share[:, None], np.inf).min(axis=0)
 
-        capped = unfixed & (fcaps <= shares_per_flow * (1 + _REL_EPS))
-        if capped.any():
-            rates[capped] = fcaps[capped]
-            remaining = remaining - Mf @ (rates * capped)
-            remaining = np.maximum(remaining, 0.0)
-            unfixed &= ~capped
-            continue
+            capped = unfixed & (fcaps <= shares_per_flow * (1 + _REL_EPS))
+            if capped.any():
+                rates[capped] = fcaps[capped]
+                np.subtract(remaining, Mf @ (rates * capped), out=remaining)
+                np.maximum(remaining, 0.0, out=remaining)
+                unfixed &= ~capped
+                continue
 
-        live = shares_per_flow[unfixed]
-        m = live.min()
-        newly = unfixed & (shares_per_flow <= m * (1 + _REL_EPS))
-        rates[newly] = np.minimum(shares_per_flow[newly], fcaps[newly])
-        remaining = remaining - Mf @ (rates * newly)
-        remaining = np.maximum(remaining, 0.0)
-        unfixed &= ~newly
-    else:  # pragma: no cover - loop bound is a proof, not a code path
-        raise RuntimeError("progressive filling failed to converge")
+            live = shares_per_flow[unfixed]
+            m = live.min()
+            newly = unfixed & (shares_per_flow <= m * (1 + _REL_EPS))
+            rates[newly] = np.minimum(shares_per_flow[newly], fcaps[newly])
+            np.subtract(remaining, Mf @ (rates * newly), out=remaining)
+            np.maximum(remaining, 0.0, out=remaining)
+            unfixed &= ~newly
+        else:  # pragma: no cover - loop bound is a proof, not a code path
+            raise RuntimeError("progressive filling failed to converge")
 
 
 def max_min_rates(
@@ -415,6 +441,28 @@ class FairshareState:
         for root in sorted(self._dirty):
             cols_set = self._comp_cols.get(root)
             if not cols_set:
+                continue
+            if len(cols_set) == 1:
+                # Single-flow component: water-filling reduces to one round.
+                # counts are all 1, so the fair share on each link is its
+                # full capacity and the flow's share is the exact min over
+                # its path — both order-independent, so this produces the
+                # same bits as the general solver below.
+                (c,) = cols_set
+                path = self._paths[c]
+                m = self._caps[path[0]]
+                for l in path[1:]:
+                    cl = self._caps[l]
+                    if cl < m:
+                        m = cl
+                fcap = self._fcaps[c]
+                rate = fcap if fcap <= m * (1 + _REL_EPS) else min(m, fcap)
+                PROFILE.count("fairshare.single_flow_solves")
+                if rate != self._rates[c]:
+                    moved = np.asarray([c], dtype=np.intp)
+                    moved_cols.append(moved)
+                    moved_old.append(self._rates[moved].copy())
+                    self._rates[c] = rate
                 continue
             cols = np.fromiter(sorted(cols_set), dtype=np.intp, count=len(cols_set))
             sub = self._M[:, cols]

@@ -176,6 +176,7 @@ class FlowEngine:
         self._finish = np.full(cap, np.inf)
         self._tag_series: Dict[str, TimeSeries] = {}
         self._tag_cols: Dict[str, Set[int]] = {}
+        self._tag_idx: Dict[str, np.ndarray] = {}  # fromiter cache, see _snapshot_tags
         self._recompute_pending = False
         self._timer_token = 0
         self._next_seq = 0
@@ -202,7 +203,7 @@ class FlowEngine:
             raise ValueError("nbytes must be non-negative")
         tcp = tcp or self.default_tcp
         links = self.network.path(src, dst)
-        delay = sum(l.delay for l in links)
+        delay = self.network.one_way_delay(src, dst)
         rtt = self.network.rtt(src, dst) if links else 0.0
         flow_cap = tcp.rate_cap(rtt)
         if cap is not None:
@@ -243,6 +244,7 @@ class FlowEngine:
         for tag in flow.tags:
             self.tag_rate_series(tag)
             self._tag_cols.setdefault(tag, set()).add(col)
+            self._tag_idx.pop(tag, None)
         self._mark_dirty()
         return done
 
@@ -410,6 +412,7 @@ class FlowEngine:
         self._finish[col] = np.inf
         for tag in f.tags:
             self._tag_cols[tag].discard(col)
+            self._tag_idx.pop(tag, None)
         f.rate = 0.0
         f.remaining = 0.0
         self.bytes_moved += f.size
@@ -428,7 +431,14 @@ class FlowEngine:
         for tag, series in self._tag_series.items():
             cols = self._tag_cols.get(tag)
             if cols:
-                idx = np.fromiter(cols, dtype=np.intp, count=len(cols))
+                # Cache the fromiter materialization between membership
+                # changes. The cached array preserves the set's own
+                # iteration order, so the (order-sensitive) float sum
+                # below associates exactly as an uncached rebuild would.
+                idx = self._tag_idx.get(tag)
+                if idx is None:
+                    idx = np.fromiter(cols, dtype=np.intp, count=len(cols))
+                    self._tag_idx[tag] = idx
                 total = float(rates[idx].sum())
             else:
                 total = 0.0

@@ -4,12 +4,20 @@ A :class:`Network` is a static directed graph of named nodes. Hosts hang off
 switches via NIC links; WAN trunks connect switches/routers. Routing is
 Dijkstra by propagation delay (hop count as tiebreak), computed on demand
 and cached — the paper's topologies are static for the life of a run.
+
+Derived per-pair quantities (delay sums, link-id tuples, bottleneck rates)
+are cached too: they are recomputed identically otherwise on every message
+send and flow start, which dominates RPC-heavy runs. Path/delay/id caches
+are invalidated when a link is added; the bottleneck cache additionally on
+any ``Link.set_rate`` (the only mutable link attribute).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+
+import numpy as np
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.link import Link
@@ -40,6 +48,10 @@ class Network:
         self.links: List[Link] = []
         self._adj: Dict[str, List[Link]] = {}
         self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._pathids_cache: Dict[Tuple[str, str], Tuple[int, ...]] = {}
+        self._delay_cache: Dict[Tuple[str, str], float] = {}
+        self._bneck_cache: Dict[Tuple[str, str], float] = {}
+        self._caps_cache: Optional[np.ndarray] = None
         self._rate_listeners: List = []
 
     # -- construction --------------------------------------------------------
@@ -77,6 +89,10 @@ class Network:
             back = Link(b, a, rate_back if rate_back is not None else rate, delay, efficiency)
             self._register(back)
         self._path_cache.clear()
+        self._pathids_cache.clear()
+        self._delay_cache.clear()
+        self._bneck_cache.clear()
+        self._caps_cache = None
         return fwd, back
 
     def _register(self, link: Link) -> None:
@@ -90,6 +106,8 @@ class Network:
         self._rate_listeners.append(fn)
 
     def _rate_changed(self, link: Link, old_rate: float) -> None:
+        self._bneck_cache.clear()
+        self._caps_cache = None
         for fn in self._rate_listeners:
             fn(link, old_rate)
 
@@ -151,9 +169,23 @@ class Network:
         self._path_cache[key] = links
         return links
 
+    def path_ids(self, src: str, dst: str) -> Tuple[int, ...]:
+        """Link indices of the routed path (cached; for the flow engine)."""
+        key = (src, dst)
+        ids = self._pathids_cache.get(key)
+        if ids is None:
+            ids = tuple(link.index for link in self.path(src, dst))
+            self._pathids_cache[key] = ids
+        return ids
+
     def one_way_delay(self, src: str, dst: str) -> float:
         """Sum of propagation delays on the routed path."""
-        return sum(link.delay for link in self.path(src, dst))
+        key = (src, dst)
+        d = self._delay_cache.get(key)
+        if d is None:
+            d = sum(link.delay for link in self.path(src, dst))
+            self._delay_cache[key] = d
+        return d
 
     def rtt(self, src: str, dst: str) -> float:
         """Round-trip propagation delay (both directions routed)."""
@@ -161,10 +193,13 @@ class Network:
 
     def bottleneck_rate(self, src: str, dst: str) -> float:
         """Min usable link rate on the path (inf for loopback)."""
-        links = self.path(src, dst)
-        if not links:
-            return float("inf")
-        return min(link.usable_rate for link in links)
+        key = (src, dst)
+        r = self._bneck_cache.get(key)
+        if r is None:
+            links = self.path(key[0], key[1])
+            r = min(link.usable_rate for link in links) if links else float("inf")
+            self._bneck_cache[key] = r
+        return r
 
     def hosts(self, site: Optional[str] = None) -> List[NetNode]:
         """All host nodes, optionally filtered by site."""
@@ -174,6 +209,17 @@ class Network:
             if n.kind == "host" and (site is None or n.site == site)
         ]
 
-    def link_capacities(self) -> List[float]:
-        """Usable capacity vector indexed by link id (for the flow engine)."""
-        return [link.usable_rate for link in self.links]
+    def link_capacities(self) -> np.ndarray:
+        """Usable capacity vector indexed by link id (for the flow engine).
+
+        Cached (invalidated by ``add_link``/``set_rate``): the flow engine
+        reads this before every solve, and handing back the same ndarray
+        lets ``FairshareState.set_link_caps`` early-out on identity. The
+        array is shared — treat it as read-only.
+        """
+        caps = self._caps_cache
+        if caps is None:
+            caps = self._caps_cache = np.asarray(
+                [link.usable_rate for link in self.links], dtype=float
+            )
+        return caps

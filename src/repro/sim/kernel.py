@@ -12,11 +12,44 @@ The kernel is deliberately minimal but complete enough for the reproduction:
 
 Determinism: events scheduled at equal times fire in (priority, scheduling
 order). There is no wall-clock anywhere.
+
+Fast paths (all provably order-identical to the straightforward
+implementation — every heap entry still consumes exactly one ``(time,
+priority, seq)`` slot at exactly the position the slow path would have
+used; see ``tests/property/test_kernel_order.py``):
+
+* heap entries are ``(time, (priority << 62) | seq, item)`` — one packed
+  sort key instead of a 4-tuple;
+* zero-delay NORMAL entries (event triggers, process resumes — the bulk of
+  all traffic) bypass the heap through a FIFO lane: a deque entry keyed
+  identically to its would-be heap entry, drained strictly before any heap
+  entry that sorts after it, so the merged pop order is exactly the heap
+  order without the O(log n) sifts;
+* :class:`Process` resumes dispatch directly to ``gen.send``/``gen.throw``
+  instead of allocating a closure per resume;
+* waiting on an already-processed event pushes a tiny :class:`_Resume`
+  trampoline instead of constructing and triggering a relay :class:`Event`;
+* :meth:`Simulation.schedule_callback` pushes a :class:`_Callback` heap
+  entry (no :class:`Event`, no closure);
+* zero-and-low-delay :class:`Timeout` sequencers are recycled through a
+  small pool when provably unreferenced (``sys.getrefcount``), skipping
+  object construction entirely (profile counter
+  ``kernel.timeout_pool_hits``).
+
+Scheduling-boundary validation: negative delays are rejected with a clear
+error *at the call that supplied them* (:meth:`Simulation._enqueue`,
+:meth:`Simulation.schedule_callback`, :class:`Timeout`), naming the event —
+previously they surfaced later as "time went backwards (kernel bug)" far
+from the offending caller. That boundary check is also what lets the run
+loops drop the per-event monotonicity re-check.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
+from sys import getrefcount as _getrefcount
+from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.profile import PROFILE
@@ -26,6 +59,12 @@ NORMAL = 1
 #: Priority for "urgent" bookkeeping events that must precede normal ones
 #: scheduled at the same instant (used by resource releases).
 URGENT = 0
+
+#: NORMAL priority pre-shifted into the packed heap key.
+_NB = NORMAL << 62
+
+#: Max recycled Timeout objects kept per simulation.
+_TPOOL_MAX = 512
 
 
 class SimulationError(RuntimeError):
@@ -100,7 +139,7 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        self.sim._push_now(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,17 +151,17 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        self.sim._push_now(self)
         return self
 
     # -- internal ------------------------------------------------------------
 
     def _process(self) -> None:
         """Run callbacks. Called by the event loop exactly once."""
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks = self.callbacks
+        self.callbacks = None
         self._processed = True
-        assert callbacks is not None
-        for cb in callbacks:
+        for cb in callbacks:  # type: ignore[union-attr]
             cb(self)
         if self._ok is False and not callbacks and not self._defused:
             raise self._value  # unhandled failure with nobody listening
@@ -133,19 +172,80 @@ class Event:
 
 
 class Timeout(Event):
-    """Event that fires ``delay`` seconds after construction."""
+    """Event that fires ``delay`` seconds after construction.
+
+    Instances may be recycled through :attr:`Simulation._tpool` once
+    processed *and* provably unreferenced; see :meth:`Simulation.timeout`.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay}")
-        super().__init__(sim, name=f"Timeout({delay})")
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # Inlined Event.__init__ (hot path): a Timeout is born triggered.
+        self.sim = sim
+        self.name = "Timeout"
+        self.callbacks = []
         self._value = value
-        sim._enqueue(self, delay=delay, priority=NORMAL)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        sim._push(delay, NORMAL, self)
+
+
+class _Callback:
+    """Heap entry that runs a bare function — no :class:`Event` machinery.
+
+    ``callbacks = None`` makes it quack like an already-processed event to
+    the few internals that look (e.g. interrupt cancellation).
+    """
+
+    __slots__ = ("fn", "name")
+    callbacks = None
+
+    def __init__(self, fn: Callable[[], None], name: str = "") -> None:
+        self.fn = fn
+        self.name = name
+
+    def _process(self) -> None:
+        self.fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<callback {self.name or self.fn!r}>"
+
+
+class _Resume:
+    """Heap entry that resumes one process directly (relay-event fast path).
+
+    Replaces the ``relay = Event(...); relay.succeed(target.value)`` dance
+    for targets that already fired: it occupies the exact ``(time,
+    priority, seq)`` slot the relay would have, so global ordering is
+    unchanged, but skips the Event allocation, the callbacks list, and the
+    triggered/processed bookkeeping. Cancellation (interrupt delivered
+    first) is detected by the process having moved on: ``proc._target is
+    not self``.
+    """
+
+    __slots__ = ("proc", "value", "throw")
+    callbacks = None
+
+    def __init__(self, proc: "Process", value: Any, throw: bool) -> None:
+        self.proc = proc
+        self.value = value
+        self.throw = throw
+
+    def _process(self) -> None:
+        p = self.proc
+        if p._target is not self:
+            return  # interrupted (or otherwise detached) before we fired
+        p._target = None
+        p._step(self.value, self.throw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<resume {self.proc.name!r} throw={self.throw}>"
 
 
 class _Condition(Event):
@@ -229,16 +329,17 @@ class Process(Event):
     __slots__ = ("gen", "_target")
 
     def __init__(self, sim: "Simulation", gen: Generator[Event, Any, Any], name: str = "") -> None:
-        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+        if type(gen) is not GeneratorType and not (
+            hasattr(gen, "send") and hasattr(gen, "throw")
+        ):
             raise TypeError(f"process requires a generator, got {type(gen).__name__}")
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self.gen = gen
-        self._target: Optional[Event] = None
-        # Kick off on a zero-delay init event so creation order == start order.
-        init = Event(sim, name=f"init:{self.name}")
-        init.callbacks.append(self._resume)
-        init.succeed()
-        self._target = init
+        # Kick off on a zero-delay trampoline so creation order == start order
+        # (same seq slot the old init Event consumed).
+        entry = _Resume(self, None, False)
+        self._target: Any = entry
+        sim._push_now(entry)
 
     @property
     def is_alive(self) -> bool:
@@ -248,8 +349,9 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current instant."""
         if self._triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+
         # Deliver asynchronously so the interrupter continues first.
-        def _deliver(_evt: Event) -> None:
+        def _deliver() -> None:
             if self._triggered:
                 return  # finished in the meantime
             target = self._target
@@ -259,25 +361,26 @@ class Process(Event):
                 except ValueError:
                     pass
             self._target = None
-            self._step(lambda: self.gen.throw(Interrupt(cause)))
+            self._step(Interrupt(cause), True)
 
-        evt = Event(self.sim, name=f"interrupt:{self.name}")
-        evt.callbacks.append(_deliver)
-        evt.succeed()
+        self.sim._push_now(_Callback(_deliver, name=f"interrupt:{self.name}"))
 
     # -- internals -----------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
         self._target = None
-        if event.ok:
-            self._step(lambda: self.gen.send(event.value))
+        if event._ok:
+            self._step(event._value, False)
         else:
-            event._defused = True  # type: ignore[attr-defined]
-            self._step(lambda: self.gen.throw(event.value))
+            event._defused = True
+            self._step(event._value, True)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, value: Any, throw: bool) -> None:
         try:
-            target = advance()
+            if throw:
+                target = self.gen.throw(value)
+            else:
+                target = self.gen.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -285,36 +388,44 @@ class Process(Event):
             self._triggered = True
             self._ok = False
             self._value = exc
-            self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+            self.sim._push_now(self)
             return
-        if not isinstance(target, Event):
+        cbs = target.callbacks if isinstance(target, Event) else False
+        if cbs is False:
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield events"
             )
         if target.sim is not self.sim:
             raise SimulationError(f"process {self.name!r} yielded event from another simulation")
-        if target.callbacks is None:
-            # Already processed: resume immediately via a fresh trigger.
-            relay = Event(self.sim, name=f"relay:{self.name}")
-            relay.callbacks.append(self._resume)
-            if target.ok:
-                relay.succeed(target.value)
-            else:
-                target._defused = True  # type: ignore[attr-defined]
-                relay.fail(target.value)
-            self._target = relay
+        if cbs is None:
+            # Already processed: resume via an order-preserving trampoline.
+            entry = _Resume(self, target._value, not target._ok)
+            self._target = entry
+            self.sim._push_now(entry)
         else:
-            target.callbacks.append(self._resume)
+            cbs.append(self._resume)
             self._target = target
 
 
 class Simulation:
-    """The event loop: a clock plus a heap of pending events."""
+    """The event loop: a clock plus a heap of pending events.
+
+    Two scheduling lanes, one logical order. Every entry conceptually
+    carries the key ``(time, priority, seq)``; zero-delay NORMAL entries
+    (the bulk: triggers, resumes, sequencers) are appended to ``_fifo``,
+    everything else is heap-pushed. Because delays are validated
+    non-negative, a FIFO entry's time always equals the current clock, so
+    the FIFO holds a contiguous ascending-seq run at ``now`` and the merged
+    pop — take the heap head only when it sorts before the FIFO head — is
+    exactly the order a single heap would produce.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, Any]] = []
+        self._fifo: deque[tuple[float, int, Any]] = deque()
         self._seq = 0
+        self._tpool: list[Timeout] = []
         self.rng = None  # set lazily by RngRegistry users
 
     @property
@@ -328,6 +439,20 @@ class Simulation:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._tpool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay {delay}")
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._processed = False
+            t._defused = False
+            t.delay = delay
+            self._push(delay, NORMAL, t)
+            if PROFILE.enabled:
+                PROFILE.count("kernel.timeout_pool_hits")
+            return t
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
@@ -341,35 +466,79 @@ class Simulation:
 
     # -- scheduling --------------------------------------------------------
 
-    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+    def _push_now(self, item: Any) -> None:
+        """Zero-delay NORMAL push: straight to the FIFO lane."""
+        seq = self._seq
+        self._seq = seq + 1
+        self._fifo.append((self._now, _NB | seq, item))
 
-    def schedule_callback(self, delay: float, fn: Callable[[], None], name: str = "") -> Event:
-        """Run ``fn`` after ``delay`` seconds (bookkeeping helper)."""
-        evt = Event(self, name=name or "callback")
-        evt.callbacks.append(lambda _e: fn())
-        evt._triggered = True
-        evt._ok = True
-        self._enqueue(evt, delay=delay, priority=NORMAL)
-        return evt
+    def _push(self, delay: float, priority: int, item: Any) -> None:
+        """Internal unvalidated push: callers guarantee ``delay >= 0``."""
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0 and priority == NORMAL:
+            self._fifo.append((self._now, _NB | seq, item))
+        else:
+            heappush(self._heap, (self._now + delay, (priority << 62) | seq, item))
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        """Schedule ``event``; the boundary where delays are validated."""
+        if delay < 0:
+            raise ValueError(
+                f"negative delay {delay!r} scheduling event "
+                f"{getattr(event, 'name', '') or event!r}"
+            )
+        self._push(delay, priority, event)
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None], name: str = "") -> _Callback:
+        """Run ``fn`` after ``delay`` seconds (bookkeeping helper).
+
+        Returns an opaque heap entry, not an :class:`Event` — callbacks are
+        fire-and-forget and cannot be waited on.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r} scheduling callback {name or fn!r}")
+        entry = _Callback(fn, name=name)
+        self._push(delay, NORMAL, entry)
+        return entry
+
+    def _pop(self) -> Any:
+        """Pop the globally next entry (callers ensure one exists)."""
+        fifo = self._fifo
+        heap = self._heap
+        if fifo:
+            if heap and heap[0] < fifo[0]:
+                t, _key, item = heappop(heap)
+                self._now = t
+            else:
+                item = fifo.popleft()[2]
+        else:
+            t, _key, item = heappop(heap)
+            if t < self._now:
+                raise SimulationError("time went backwards (kernel bug)")
+            self._now = t
+        return item
 
     # -- running -----------------------------------------------------------
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        if not self._heap and not self._fifo:
             raise SimulationError("step() on an empty schedule")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
-        if t < self._now:
-            raise SimulationError("time went backwards (kernel bug)")
-        self._now = t
+        item = self._pop()
         if PROFILE.enabled:
             PROFILE.count("kernel.events")
-        event._process()
+        item._process()
+        if type(item) is Timeout and len(self._tpool) < _TPOOL_MAX and _getrefcount(item) == 2:
+            # Provably unreferenced (only `item` and the getrefcount argument
+            # hold it): recycle. Anything retained by user code, a condition,
+            # or `run(until=...)` has refcount > 2 and is left alone.
+            self._tpool.append(item)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none."""
+        if self._fifo:
+            return self._fifo[0][0]
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -377,23 +546,62 @@ class Simulation:
 
         Returns the event's value when ``until`` is an event.
         """
+        heap = self._heap
+        fifo = self._fifo
+        tpool = self._tpool
+        profile = PROFILE
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._heap:
+            while not stop._processed:
+                # Inlined _pop() with the deadlock check folded in.
+                if fifo:
+                    if heap and heap[0] < fifo[0]:
+                        t, _key, item = heappop(heap)
+                        self._now = t
+                    else:
+                        item = fifo.popleft()[2]
+                elif heap:
+                    t, _key, item = heappop(heap)
+                    self._now = t
+                else:
                     raise SimulationError(
                         f"schedule drained before event {stop!r} fired (deadlock?)"
                     )
-                self.step()
-            if stop.ok:
-                return stop.value
-            stop._defused = True  # type: ignore[attr-defined]
-            raise stop.value
+                if profile.enabled:
+                    profile.count("kernel.events")
+                item._process()
+                if type(item) is Timeout and len(tpool) < _TPOOL_MAX and _getrefcount(item) == 2:
+                    tpool.append(item)
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
         horizon = float("inf") if until is None else float(until)
         if horizon < self._now:
             raise ValueError(f"until={horizon} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        while True:
+            # Inlined _pop() with the horizon check folded in. FIFO entries
+            # fire at the current clock, which never exceeds the horizon, so
+            # only heap heads need the bound re-checked.
+            if fifo:
+                if heap and heap[0] < fifo[0]:
+                    t, _key, item = heappop(heap)
+                    self._now = t
+                else:
+                    item = fifo.popleft()[2]
+            elif heap:
+                t = heap[0][0]
+                if t > horizon:
+                    break
+                item = heappop(heap)[2]
+                self._now = t
+            else:
+                break
+            if profile.enabled:
+                profile.count("kernel.events")
+            item._process()
+            if type(item) is Timeout and len(tpool) < _TPOOL_MAX and _getrefcount(item) == 2:
+                tpool.append(item)
         if horizon != float("inf"):
             self._now = horizon
         return None

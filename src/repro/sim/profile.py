@@ -21,14 +21,25 @@ instrumentation can live permanently in hot loops. Enable around a region::
 Counter namespaces in use:
 
 * ``kernel.events`` — events popped off the simulation heap;
+* ``kernel.timeout_pool_hits`` — zero-delay timeouts served from the
+  kernel's recycling pool instead of a fresh allocation;
+* ``kernel.guard_fastpath`` — NSD RPC legs that early-outed of the
+  partition/health guard (no faults active) without building the
+  generator machinery;
 * ``flowengine.recomputes`` / ``flowengine.active_rows`` /
   ``flowengine.rate_changes`` — recompute passes, active flows seen by
   them (what a full re-solve would have touched), flows whose rate
   actually changed;
 * ``fairshare.solves`` / ``fairshare.solved_rows`` — per-component
   water-filling solves and the flow rows they touched;
+* ``fairshare.single_flow_solves`` — dirty components of exactly one
+  flow resolved by the closed-form shortcut (no matrix work);
 * ``fairshare.matrix_growths`` / ``fairshare.partition_rebuilds`` —
-  incidence-state maintenance events.
+  incidence-state maintenance events;
+* ``nsd.coalesced_rpcs`` / ``nsd.coalesced_blocks`` — scatter-gather
+  multi-block RPCs issued and the blocks they carried; their ratio is
+  the realized coalescing factor (zero unless a mount sets
+  ``max_coalesce > 1``).
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
 """Edge cases of the event kernel that the main tests don't reach."""
 
+import pytest
+
 from repro.sim import Interrupt, Simulation, Store
 
 
@@ -101,3 +103,98 @@ class TestRunSemantics:
         sim.schedule_callback(0.5, lambda: order.append("c"))
         sim.run()
         assert order == ["c", "a", "b"]
+
+
+class TestSchedulingBoundary:
+    """Negative delays fail *at the scheduling call*, naming the culprit."""
+
+    def test_enqueue_negative_delay_names_event(self):
+        sim = Simulation()
+        evt = sim.event(name="late-ack")
+        with pytest.raises(ValueError, match=r"-0\.5.*late-ack"):
+            sim._enqueue(evt, -0.5, 1)
+
+    def test_schedule_callback_negative_delay_names_callback(self):
+        sim = Simulation()
+        with pytest.raises(ValueError, match=r"-1\.0.*tick"):
+            sim.schedule_callback(-1.0, lambda: None, name="tick")
+
+    def test_timeout_negative_delay_message(self):
+        sim = Simulation()
+        with pytest.raises(ValueError, match="negative"):
+            sim.timeout(-1e-9)
+
+    def test_schedule_callback_return_is_fire_and_forget(self):
+        # The lightweight heap entry is opaque: no Event API, but the
+        # callback still fires at the right instant.
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule_callback(2.0, lambda: fired.append(sim.now))
+        assert handle is not None
+        sim.run()
+        assert fired == [2.0]
+
+
+class TestTimeoutPooling:
+    """Recycled zero-timeouts must be invisible to user code."""
+
+    def test_pooled_timeouts_behave_like_fresh(self):
+        sim = Simulation()
+        seen = []
+
+        def spinner():
+            for i in range(50):
+                t = yield sim.timeout(0.0, value=i)
+                seen.append(t)
+
+        sim.process(spinner())
+        sim.run()
+        assert seen == list(range(50))
+
+    def test_retained_timeout_is_never_recycled(self):
+        sim = Simulation()
+        keep = []
+
+        def proc():
+            for i in range(20):
+                t = sim.timeout(0.0, value=("mine", i))
+                keep.append(t)
+                yield t
+                yield sim.timeout(0.0)  # churn that may reuse pool slots
+
+        sim.process(proc())
+        sim.run()
+        assert [t.value for t in keep] == [("mine", i) for i in range(20)]
+        assert all(t.processed and t.ok for t in keep)
+
+    def test_pool_hits_counted(self):
+        from repro.sim.profile import PROFILE
+
+        sim = Simulation()
+
+        def proc():
+            for _ in range(30):
+                yield sim.timeout(0.0)
+
+        sim.process(proc())
+        PROFILE.reset()
+        PROFILE.enable()
+        try:
+            sim.run()
+        finally:
+            PROFILE.disable()
+        assert PROFILE.snapshot()["counters"].get("kernel.timeout_pool_hits", 0) > 0
+
+    def test_condition_children_survive_pool_churn(self):
+        sim = Simulation()
+
+        def proc():
+            got = yield sim.all_of([sim.timeout(0.0, value=a) for a in "abc"])
+            # churn the pool, then check the condition's collected values
+            for _ in range(10):
+                yield sim.timeout(0.0)
+            return got
+
+        p = sim.process(proc())
+        sim.run()
+        assert list(p.value.values()) == ["a", "b", "c"]
