@@ -4,15 +4,20 @@ Subcommands::
 
     python -m repro report [--quick] [--only E1 A3] [--out FILE]
                            [--profile] [--profile-json FILE] [--trace-dir DIR]
-    python -m repro run E13 [--quick] [--out FILE]
+                           [--metrics-dir DIR]
+    python -m repro run E13 [--quick] [--out FILE] [--metrics-dir DIR]
     python -m repro run --list
     python -m repro trace E8 --out trace.json [--quick]
+    python -m repro health --metrics-dir DIR [--exp E13] [--html FILE]
     python -m repro info
 
 ``report`` regenerates the paper's figures (see EXPERIMENTS.md);
 ``run`` runs a single experiment by id (shorthand for ``report --only``);
 ``trace`` runs one experiment under the flight recorder and writes a
 Chrome trace-event JSON with per-flow bottleneck attribution;
+``health`` renders the fleet health report from a ``--metrics-dir``
+produced by ``run``/``report`` (SLO compliance, per-phase latency,
+per-client/server/link rollups);
 ``info`` prints the system inventory and experiment index.
 """
 
@@ -64,6 +69,7 @@ def main(argv=None) -> int:
     report.add_argument("--profile", action="store_true")
     report.add_argument("--profile-json", metavar="FILE")
     report.add_argument("--trace-dir", metavar="DIR")
+    report.add_argument("--metrics-dir", metavar="DIR")
     run = sub.add_parser(
         "run", help="run one experiment by id (e.g. E13) and print it"
     )
@@ -73,6 +79,20 @@ def main(argv=None) -> int:
                      help="list runnable experiment ids and exit")
     run.add_argument("--quick", action="store_true")
     run.add_argument("--out", metavar="FILE")
+    run.add_argument("--metrics-dir", metavar="DIR",
+                     help="export telemetry (.prom/.metrics.jsonl/.meta.json) "
+                          "into DIR for `python -m repro health`")
+    health = sub.add_parser(
+        "health",
+        help="render the fleet health report from a --metrics-dir "
+             "(SLO compliance, per-phase latency, client/server/link rollups)",
+    )
+    health.add_argument("--metrics-dir", metavar="DIR", required=True)
+    health.add_argument("--exp", metavar="ID",
+                        help="only this experiment id (default: all found)")
+    health.add_argument("--out", metavar="FILE")
+    health.add_argument("--html", metavar="FILE",
+                        help="also write a static HTML report")
     trace = sub.add_parser(
         "trace",
         help="run one experiment under the flight recorder; write a "
@@ -102,6 +122,8 @@ def main(argv=None) -> int:
             forwarded += ["--profile-json", args.profile_json]
         if args.trace_dir:
             forwarded += ["--trace-dir", args.trace_dir]
+        if args.metrics_dir:
+            forwarded += ["--metrics-dir", args.metrics_dir]
         return report_main(forwarded)
     if args.command == "run":
         from repro.experiments.report import _registry
@@ -119,11 +141,24 @@ def main(argv=None) -> int:
             forwarded.append("--quick")
         if args.out:
             forwarded += ["--out", args.out]
+        if args.metrics_dir:
+            forwarded += ["--metrics-dir", args.metrics_dir]
         return report_main(forwarded)
     if args.command == "trace":
         from repro.experiments.report import run_trace
 
         return run_trace(args.exp_id, args.out, quick=args.quick)
+    if args.command == "health":
+        from repro.obs.health import main as health_main
+
+        forwarded = ["--metrics-dir", args.metrics_dir]
+        if args.exp:
+            forwarded += ["--exp", args.exp]
+        if args.out:
+            forwarded += ["--out", args.out]
+        if args.html:
+            forwarded += ["--html", args.html]
+        return health_main(forwarded)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -41,6 +41,7 @@ from repro.core.namespace import (
 )
 from repro.core.pagepool import PagePool
 from repro.core.tokens import RO, RW, TokenClient
+from repro.obs.registry import OBS
 from repro.sim.kernel import Event, Simulation
 from repro.sim.resources import Resource
 from repro.util.units import MiB
@@ -210,7 +211,26 @@ class MountedFs:
         self._check_handle(handle, want_read=True)
         if offset < 0 or length < 0:
             raise ValueError("offset/length must be non-negative")
-        return self.sim.process(self._pread(handle, offset, length), name="pread")
+        gen = self._pread(handle, offset, length)
+        if OBS.enabled:
+            gen = self._obs_pread(gen)
+        return self.sim.process(gen, name="pread")
+
+    def _obs_pread(self, gen):
+        """Telemetry wrapper: client-visible read latency + ok/error counts.
+
+        ``yield from`` adds no events, so the wrapped read is
+        event-for-event identical to the bare one.
+        """
+        t0 = self.sim.now
+        try:
+            data = yield from gen
+        except BaseException:
+            OBS.inc("client.read.errors", client=self.node)
+            raise
+        OBS.observe("client.read.latency", self.sim.now - t0, client=self.node)
+        OBS.inc("client.read.ok", client=self.node)
+        return data
 
     def write(self, handle: FileHandle, data: "bytes | int") -> Event:
         """Sequential write at the handle position (write-behind)."""

@@ -27,6 +27,7 @@ from repro.net.flow import FlowEngine
 from repro.net.message import MessageService
 from repro.net.tcp import TcpModel
 from repro.net.topology import Network
+from repro.obs.registry import OBS
 from repro.sim.kernel import Event, Simulation
 from repro.sim.rand import RngRegistry
 from repro.storage.array import Lun
@@ -90,6 +91,10 @@ class Gfs:
         self.clusters: Dict[str, Cluster] = {}
         self.node_cluster: Dict[str, str] = {}
         self._crypto_pipes: Dict[str, object] = {}
+        if OBS.enabled:
+            from repro.obs.wire import attach_gfs
+
+            attach_gfs(self)
 
     def add_cluster(self, name: str, site: str = "") -> "Cluster":
         if name in self.clusters:
@@ -380,6 +385,11 @@ class Cluster:
             replication=replication,
         )
         self.filesystems[device] = fs
+        if OBS.enabled:
+            from repro.obs.wire import attach_filesystem, attach_service
+
+            attach_service(service, fs=device)
+            attach_filesystem(fs)
         return fs
 
     def filesystem(self, device: str) -> Filesystem:

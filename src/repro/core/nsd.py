@@ -29,6 +29,7 @@ from typing import Callable, Dict, Generator, Iterable, Optional
 from repro.net.flow import FlowEngine
 from repro.net.message import MessageService
 from repro.net.tcp import TcpModel
+from repro.obs.registry import OBS
 from repro.sim.kernel import Event, Simulation
 from repro.sim.profile import PROFILE
 from repro.sim.trace import TRACE
@@ -292,6 +293,7 @@ class NsdService:
         self.down_nodes: set[str] = set()
         self.blocks_read = 0
         self.blocks_written = 0
+        self.inflight = 0
         self.failovers = 0
         #: (sim time, nsd_id, from_node, to_node) per primary→backup switch.
         self.failover_events: list[tuple[float, int, str, str]] = []
@@ -459,6 +461,29 @@ class NsdService:
                 kw["tcp"] = tcp
         return kw
 
+    def _obs_rpc(self, op, gen):
+        """Wrap one RPC generator with telemetry (latency/total/errors).
+
+        ``yield from`` adds no events, so wrapping cannot perturb event
+        order; with retries active the wrapped generator is the whole
+        retried operation, i.e. the latency histogram records what the
+        *client* saw, failovers and backoff included.
+        """
+        t0 = self.sim.now
+        self.inflight += 1
+        try:
+            result = yield from gen
+        except BaseException:
+            self.inflight -= 1
+            if OBS.enabled:
+                OBS.inc("nsd.rpc.errors", op=op)
+            raise
+        self.inflight -= 1
+        if OBS.enabled:
+            OBS.observe("nsd.rpc.latency", self.sim.now - t0, op=op)
+            OBS.inc("nsd.rpc.total", op=op)
+        return result
+
     # -- block ops -----------------------------------------------------------
 
     def write_block(
@@ -473,9 +498,14 @@ class NsdService:
     ) -> Event:
         """Write ``data`` (bytes, or a length for size-only mode) to a block."""
         args = (client_node, nsd_id, phys, offset, data, sequential, tags)
-        if self.retry is not None:
-            return self.sim.process(self._with_retry("write", args), name="nsd-write")
-        return self.sim.process(self._write(*args), name="nsd-write")
+        gen = (
+            self._with_retry("write", args)
+            if self.retry is not None
+            else self._write(*args)
+        )
+        if OBS.enabled:
+            gen = self._obs_rpc("write", gen)
+        return self.sim.process(gen, name="nsd-write")
 
     def _write(self, client_node, nsd_id, phys, offset, data, sequential, tags):
         nsd = self.nsds[nsd_id]
@@ -548,6 +578,8 @@ class NsdService:
             tr.end(self.sim, sid)
         if rpc:
             tr.end(self.sim, rpc)
+        if OBS.enabled:
+            OBS.inc("nsd.server.bytes", length, server=server.node, dir="in")
         return length
 
     def read_block(
@@ -571,9 +603,14 @@ class NsdService:
         if verify and (offset != 0 or length != self.nsds[nsd_id].block_size):
             raise ValueError("verified reads must cover the whole block")
         args = (client_node, nsd_id, phys, offset, length, sequential, tags, verify)
-        if self.retry is not None:
-            return self.sim.process(self._with_retry("read", args), name="nsd-read")
-        return self.sim.process(self._read(*args), name="nsd-read")
+        gen = (
+            self._with_retry("read", args)
+            if self.retry is not None
+            else self._read(*args)
+        )
+        if OBS.enabled:
+            gen = self._obs_rpc("read", gen)
+        return self.sim.process(gen, name="nsd-read")
 
     def _read(self, client_node, nsd_id, phys, offset, length, sequential, tags,
               verify=False):
@@ -633,6 +670,8 @@ class NsdService:
         if rpc:
             tr.end(self.sim, rpc)
         self.blocks_read += 1
+        if OBS.enabled:
+            OBS.inc("nsd.server.bytes", length, server=server.node, dir="out")
         # 4. end-to-end verification at the client, over the bytes that
         #    actually crossed the network (zero sim-time: CPU cost of a
         #    CRC is negligible next to a WAN block transfer).
@@ -678,11 +717,14 @@ class NsdService:
                 client_node, nsd_id, phys, offset, data, sequential, tags
             )
         args = (client_node, nsd_id, items, sequential, tags)
-        if self.retry is not None:
-            return self.sim.process(
-                self._with_retry("write_multi", args), name="nsd-writem"
-            )
-        return self.sim.process(self._write_multi(*args), name="nsd-writem")
+        gen = (
+            self._with_retry("write_multi", args)
+            if self.retry is not None
+            else self._write_multi(*args)
+        )
+        if OBS.enabled:
+            gen = self._obs_rpc("write_blocks", gen)
+        return self.sim.process(gen, name="nsd-writem")
 
     def _write_multi(self, client_node, nsd_id, items, sequential, tags):
         nsd = self.nsds[nsd_id]
@@ -753,6 +795,8 @@ class NsdService:
             tr.end(self.sim, sid)
         if rpc:
             tr.end(self.sim, rpc)
+        if OBS.enabled:
+            OBS.inc("nsd.server.bytes", total, server=server.node, dir="in")
         return total
 
     def read_blocks(
@@ -776,11 +820,14 @@ class NsdService:
         """
         phys_list = tuple(phys_list)
         args = (client_node, nsd_id, phys_list, sequential, tags, verify)
-        if self.retry is not None:
-            return self.sim.process(
-                self._with_retry("read_multi", args), name="nsd-readm"
-            )
-        return self.sim.process(self._read_multi(*args), name="nsd-readm")
+        gen = (
+            self._with_retry("read_multi", args)
+            if self.retry is not None
+            else self._read_multi(*args)
+        )
+        if OBS.enabled:
+            gen = self._obs_rpc("read_blocks", gen)
+        return self.sim.process(gen, name="nsd-readm")
 
     def _read_multi(self, client_node, nsd_id, phys_list, sequential, tags,
                     verify=False):
@@ -844,6 +891,8 @@ class NsdService:
         if rpc:
             tr.end(self.sim, rpc)
         self.blocks_read += len(phys_list)
+        if OBS.enabled:
+            OBS.inc("nsd.server.bytes", total, server=server.node, dir="out")
         # 4. per-block end-to-end verification at the client
         if verify:
             for phys, data in zip(phys_list, datas):

@@ -49,6 +49,12 @@ class Scrubber:
         self.repair_failures = 0
         self.bytes_read = 0.0
         self._proc = None
+        from repro.obs.registry import OBS
+
+        if OBS.enabled:
+            from repro.obs.wire import attach_scrubber
+
+            attach_scrubber(self)
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -25,6 +25,13 @@ from typing import Optional
 
 from repro.experiments.harness import ExperimentResult
 from repro.faults import FaultSchedule, RetryPolicy, attach_faults
+from repro.obs import (
+    OBS,
+    AvailabilityObjective,
+    DEFAULT_LATENCY_BOUNDS,
+    LatencyObjective,
+    SloTracker,
+)
 from repro.util.tables import Table
 from repro.util.timeseries import TimeSeries
 from repro.util.units import MB, MiB
@@ -199,6 +206,38 @@ def run_e13(
         f"{CRASH_NODE} crashes at t+{crash_after:.1f}s; no manual mark_down — "
         "lease expiry detects it, parked RPCs fail over, zero reads fail"
     )
+
+    if OBS.enabled:
+        # Final scrape so the last phase boundary has a row at exactly
+        # t_end, then evaluate the chaos-soak SLOs over the time series.
+        OBS.scrape(g.sim)
+        phases = [
+            {"name": "nominal", "t0": t0, "t1": t_crash},
+            {"name": "degraded", "t0": t_crash, "t1": t_detect},
+            {"name": "failed-over", "t0": t_detect, "t1": t_up},
+            {"name": "recovered", "t0": t_up, "t1": t_end},
+        ]
+        # The latency threshold sits on a histogram bucket boundary so
+        # compliance is exact (bucket counts, no interpolation).
+        le = next(b for b in DEFAULT_LATENCY_BOUNDS if b >= 1.0)
+        tracker = (
+            SloTracker()
+            .add(LatencyObjective(
+                name="wan_read_latency",
+                metric="client.read.latency",
+                le=le,
+                target=0.99,
+                window=2.0,
+            ))
+            .add(AvailabilityObjective(
+                name="zero_failed_reads",
+                ok_metric="client.read.ok",
+                err_metric="client.read.errors",
+                target=1.0,
+                window=2.0,
+            ))
+        )
+        result.obs = {"phases": phases, "slo": tracker.evaluate(OBS.rows)}
     return result
 
 

@@ -36,6 +36,7 @@ from repro.core.scrub import Scrubber
 from repro.experiments.e13_chaos import window_mean
 from repro.experiments.harness import ExperimentResult
 from repro.faults import FaultSchedule, RetryPolicy, attach_faults
+from repro.obs import OBS, AvailabilityObjective, SloTracker
 from repro.util.tables import Table
 from repro.util.units import MB, MiB
 
@@ -291,6 +292,22 @@ def run_e14(
         f"{minority}: zero wrong bytes, zero failed reads, every damaged "
         "replica repaired (read-repair or scrub) by end of run"
     )
+
+    if OBS.enabled:
+        OBS.scrape(g.sim)
+        phases = [
+            {"name": "nominal", "t0": t0, "t1": t_cut},
+            {"name": "partitioned", "t0": t_cut, "t1": t_heal},
+            {"name": "recovered", "t0": t_heal, "t1": t_readers_done},
+        ]
+        tracker = SloTracker().add(AvailabilityObjective(
+            name="zero_failed_reads",
+            ok_metric="client.read.ok",
+            err_metric="client.read.errors",
+            target=1.0,
+            window=2.0,
+        ))
+        result.obs = {"phases": phases, "slo": tracker.evaluate(OBS.rows)}
     return result
 
 

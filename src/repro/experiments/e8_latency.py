@@ -20,6 +20,7 @@ from repro.experiments.harness import ExperimentResult
 from repro.net.flow import FlowEngine
 from repro.net.tcp import TcpModel
 from repro.net.topology import Network
+from repro.obs.registry import OBS
 from repro.sim.kernel import Simulation
 from repro.util.tables import Table
 from repro.util.units import GB, Gbps, MiB
@@ -48,6 +49,11 @@ def measure(
         for _ in range(streams)
     ]
     sim.run(until=sim.all_of(events))
+    if OBS.enabled:
+        # One scrape per cell: each sweep cell is its own simulation, so
+        # the cell's aggregate rate lands as a gauge sample at cell end.
+        OBS.set_gauge("e8.cell.rate", nbytes / sim.now, sim.now, cell=cell)
+        OBS.scrape(sim)
     return nbytes / sim.now
 
 

@@ -23,6 +23,11 @@ class ExperimentResult:
     #: ``TRACE.metrics_snapshot()`` when the run was traced (span counts,
     #: bottleneck attribution, per-link saturation); ``None`` otherwise.
     trace_summary: Optional[dict] = None
+    #: Telemetry sidecar when the run had the repro.obs registry enabled:
+    #: ``{"phases": [...], "slo": [...]}``. Deliberately NOT part of
+    #: ``metrics`` — the golden-metrics tests pin that key set, and
+    #: telemetry must not change goldens.
+    obs: Optional[dict] = None
 
     def metric(self, name: str) -> float:
         try:
@@ -75,6 +80,16 @@ def format_result(result: ExperimentResult) -> str:
                     f"{entry['sim_seconds']:.3g} flow-s)"
                     for bound, entry in top
                 )
+            )
+    if result.obs:
+        for slo in result.obs.get("slo") or []:
+            burn = slo.get("burn_rate")
+            burn_s = f"{burn:.2f}x budget burn" if burn is not None else "zero budget"
+            lines.append(
+                f"slo {slo['name']}: "
+                f"{'BREACHED' if slo['breached'] else 'ok'} "
+                f"(compliance {slo['compliance'] * 100:.3f}% "
+                f"vs target {slo['target'] * 100:g}%, {burn_s})"
             )
     if result.notes:
         lines.append(f"note: {result.notes}")

@@ -15,6 +15,11 @@ Usage::
 ``--trace-dir`` runs every experiment under the flight recorder, writes
 ``<id>.trace.json`` Chrome traces into the directory, and embeds each
 run's bottleneck-attribution summary in its report section.
+``--metrics-dir`` runs every experiment with the :data:`repro.obs.OBS`
+registry enabled and exports a Prometheus snapshot (``<id>.prom``), the
+scrape time series (``<id>.metrics.jsonl``) and phase/SLO metadata
+(``<id>.meta.json``) per experiment — the input to
+``python -m repro health``.
 """
 
 from __future__ import annotations
@@ -135,6 +140,11 @@ def main(argv=None) -> int:
                         help="run under the flight recorder; write "
                              "<id>.trace.json Chrome traces into DIR and "
                              "report per-run bottleneck attribution")
+    parser.add_argument("--metrics-dir", metavar="DIR",
+                        help="run with the repro.obs telemetry registry "
+                             "enabled; write <id>.prom, <id>.metrics.jsonl "
+                             "and <id>.meta.json into DIR (readable by "
+                             "`python -m repro health`)")
     args = parser.parse_args(argv)
 
     registry = _registry(args.quick)
@@ -149,6 +159,10 @@ def main(argv=None) -> int:
     profiling = args.profile or args.profile_json is not None
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
+    if args.metrics_dir:
+        os.makedirs(args.metrics_dir, exist_ok=True)
+
+    from repro.obs import OBS, export_metrics_dir
 
     sections = []
     profile_snapshots: Dict[str, dict] = {}
@@ -161,11 +175,15 @@ def main(argv=None) -> int:
             PROFILE.enable()
         if args.trace_dir:
             TRACE.enable()
+        if args.metrics_dir:
+            OBS.reset()
+            OBS.enable()
         try:
             result = thunk()
         finally:
             PROFILE.disable()
             TRACE.disable()
+            OBS.disable()
         elapsed = time.time() - t0
         if profiling:
             profile_snapshots[exp_id] = PROFILE.snapshot()
@@ -175,6 +193,13 @@ def main(argv=None) -> int:
             with open(trace_path, "w") as fh:
                 json.dump(TRACE.to_chrome(), fh)
             TRACE.reset()
+        if args.metrics_dir:
+            paths = export_metrics_dir(
+                OBS, args.metrics_dir, exp_id, meta=result.obs or {}
+            )
+            OBS.reset()
+            print(f"[{exp_id}] metrics -> {paths['prom']}",
+                  file=sys.stderr, flush=True)
         section = format_result(result) + f"\n({elapsed:.1f}s wall)"
         if args.profile:
             section += "\n" + PROFILE.report()

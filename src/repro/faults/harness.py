@@ -125,6 +125,12 @@ class FaultHarness:
                 tm.quorum = self.quorum
         self.detector.start()
         self.injector.start()
+        from repro.obs.registry import OBS
+
+        if OBS.enabled:
+            from repro.obs.wire import attach_detector
+
+            attach_detector(self.detector)
         return self
 
     def stop(self) -> None:

@@ -60,6 +60,12 @@ class HsmManager:
         self.recalled_files = 0
         self.migrated_bytes = 0.0
         self.recalled_bytes = 0.0
+        from repro.obs.registry import OBS
+
+        if OBS.enabled:
+            from repro.obs.wire import attach_hsm
+
+            attach_hsm(self)
 
     # -- state queries ---------------------------------------------------------
 

@@ -243,6 +243,11 @@ class FairshareState:
         #: columns rated outside solve() (pathless flows), reported once.
         self._fresh: List[int] = []
         self._removals = 0
+        #: Always-on solve counters (scraped by repro.obs; PROFILE keeps
+        #: the opt-in fine-grained versions).
+        self.solves = 0
+        self.solved_rows = 0
+        self.single_flow_solves = 0
 
     # -- union-find -----------------------------------------------------------
 
@@ -457,6 +462,7 @@ class FairshareState:
                         m = cl
                 fcap = self._fcaps[c]
                 rate = fcap if fcap <= m * (1 + _REL_EPS) else min(m, fcap)
+                self.single_flow_solves += 1
                 PROFILE.count("fairshare.single_flow_solves")
                 if rate != self._rates[c]:
                     moved = np.asarray([c], dtype=np.intp)
@@ -470,6 +476,8 @@ class FairshareState:
             subM = sub[links]
             fcaps = self._fcaps[cols]
             rates = np.zeros(cols.shape[0])
+            self.solves += 1
+            self.solved_rows += int(cols.shape[0])
             PROFILE.count("fairshare.solves")
             PROFILE.count("fairshare.solved_rows", cols.shape[0])
             _water_fill(

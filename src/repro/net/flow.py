@@ -162,6 +162,10 @@ class FlowEngine:
         self.flows: Dict[Flow, None] = {}
         self.bytes_moved = 0.0
         self.completed_flows = 0
+        #: Always-on solver-churn counters (scraped by repro.obs; the
+        #: finer-grained PROFILE counters stay opt-in).
+        self.recomputes = 0
+        self.rate_changes = 0
         self._state = FairshareState(network.link_capacities())
         self._col_flow: Dict[int, Flow] = {}
         # Column-aligned kinematics, grown in lockstep with the state's
@@ -332,6 +336,7 @@ class FlowEngine:
     def _recompute(self) -> None:
         self._recompute_pending = False
         now = self.sim.now
+        self.recomputes += 1
         if PROFILE.enabled:
             PROFILE.count("flowengine.recomputes")
             PROFILE.count("flowengine.active_rows", len(self.flows))
@@ -340,6 +345,7 @@ class FlowEngine:
             self._state.set_link_caps(self.network.link_capacities())
             cols, old_rates = self._state.solve()
             if cols.size:
+                self.rate_changes += int(cols.size)
                 if PROFILE.enabled:
                     PROFILE.count("flowengine.rate_changes", cols.size)
                 # Materialize residuals for exactly the flows whose rate

@@ -1,0 +1,189 @@
+"""Attach subsystems to the global metrics registry.
+
+Each ``attach_*`` function registers scrape-time callbacks over counters
+the subsystem already maintains — attaching changes nothing about how
+the simulation runs, it only makes existing state scrapeable. Call sites
+(`Gfs.__init__`, ``mmcrfs``, Scrubber/HsmManager constructors) guard
+with ``OBS.enabled`` so a disabled registry costs one attribute check.
+
+Naming conventions (the families ``repro health`` rolls up live in
+:mod:`repro.obs.health`):
+
+* ``kernel.*{sim=<pid>}`` — event churn, heap depth, timeout pool;
+* ``flow.*`` / ``fairshare.*`` — recomputes, completed flows, solves;
+* ``net.link.utilization{link=...}`` — per-link used fraction;
+* ``nsd.*{fs=...}`` — service counters; RPC latency histograms are
+  recorded inline by the service (``nsd.rpc.latency{op=...}``);
+* ``scrub.*{fs=...}`` / ``tokens.*{fs=...}`` / ``hsm.*{fs=...}``;
+* ``faults.*`` — detections, recoveries (latency histograms inline).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import canonical_key
+from repro.obs.registry import OBS, _pid
+
+
+def attach_gfs(gfs, interval: float = None) -> None:
+    """Wire one :class:`~repro.core.cluster.Gfs` universe + its collector."""
+    sim = gfs.sim
+    engine = gfs.engine
+    pid = str(_pid(sim))
+
+    def kernel_multi() -> dict:
+        return {
+            "counters": {
+                canonical_key("kernel.events", {"sim": pid}):
+                    float(sim._seq),
+                canonical_key("kernel.timeout_pool_hits", {"sim": pid}):
+                    float(sim.timeout_pool_hits),
+            },
+            "gauges": {
+                canonical_key("kernel.queue_depth", {"sim": pid}):
+                    float(len(sim._heap) + len(sim._fifo)),
+                canonical_key("kernel.timeout_pool", {"sim": pid}):
+                    float(len(sim._tpool)),
+            },
+        }
+
+    def engine_multi() -> dict:
+        state = engine._state
+        sim_l = {"sim": pid}
+        counters = {
+            canonical_key("flow.bytes_moved", sim_l): engine.bytes_moved,
+            canonical_key("flow.completed", sim_l):
+                float(engine.completed_flows),
+            canonical_key("flow.recomputes", sim_l):
+                float(engine.recomputes),
+            canonical_key("flow.rate_changes", sim_l):
+                float(engine.rate_changes),
+            canonical_key("fairshare.solves", sim_l): float(state.solves),
+            canonical_key("fairshare.solved_rows", sim_l):
+                float(state.solved_rows),
+            canonical_key("fairshare.single_flow_solves", sim_l):
+                float(state.single_flow_solves),
+        }
+        gauges = {
+            canonical_key("flow.active", sim_l): float(engine.active_count)
+        }
+        for link, frac in engine.link_utilization().items():
+            gauges[
+                canonical_key("net.link.utilization", {"link": link, "sim": pid})
+            ] = frac
+        return {"counters": counters, "gauges": gauges}
+
+    OBS.register_multi(kernel_multi)
+    OBS.register_multi(engine_multi)
+
+    from repro.obs.collect import Collector
+
+    Collector(sim, OBS, interval).start()
+
+
+def attach_service(service, fs: str = "") -> None:
+    """Wire an :class:`~repro.core.nsd.NsdService`'s counters."""
+    labels = {"fs": fs} if fs else {}
+    for family, attr in (
+        ("nsd.blocks_read", "blocks_read"),
+        ("nsd.blocks_written", "blocks_written"),
+        ("nsd.failovers", "failovers"),
+        ("nsd.retries", "retries"),
+        ("nsd.rpc_timeouts", "rpc_timeouts"),
+        ("nsd.checksum_failures", "checksum_failures"),
+        ("nsd.checksum_verifications", "checksum_verifications"),
+        ("nsd.partition_parked", "partition_parked"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda s=service, a=attr: float(getattr(s, a))),
+            kind="counter",
+            **labels,
+        )
+    OBS.register_callback(
+        "nsd.down_nodes",
+        lambda s=service: float(len(s.down_nodes)),
+        kind="gauge",
+        **labels,
+    )
+    OBS.register_callback(
+        "nsd.inflight_rpcs",
+        lambda s=service: float(s.inflight),
+        kind="gauge",
+        **labels,
+    )
+
+
+def attach_filesystem(fs) -> None:
+    """Wire a filesystem's token manager (labels by device name)."""
+    tm = fs.token_manager
+    labels = {"fs": fs.name}
+    for family, attr in (
+        ("tokens.grants", "grants"),
+        ("tokens.revokes", "revokes"),
+        ("tokens.dead_holder_releases", "dead_holder_releases"),
+        ("tokens.quorum_parked_grants", "quorum_parked_grants"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda t=tm, a=attr: float(getattr(t, a))),
+            kind="counter",
+            **labels,
+        )
+
+
+def attach_scrubber(scrubber) -> None:
+    labels = {"fs": scrubber.fs.name}
+    for family, attr in (
+        ("scrub.sweeps", "sweeps"),
+        ("scrub.blocks_scanned", "blocks_scanned"),
+        ("scrub.rot_found", "rot_found"),
+        ("scrub.repairs", "repairs"),
+        ("scrub.repair_failures", "repair_failures"),
+        ("scrub.bytes_read", "bytes_read"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda s=scrubber, a=attr: float(getattr(s, a))),
+            kind="counter",
+            **labels,
+        )
+
+
+def attach_hsm(manager) -> None:
+    labels = {"fs": manager.fs.name}
+    for family, attr in (
+        ("hsm.migrated_files", "migrated_files"),
+        ("hsm.recalled_files", "recalled_files"),
+        ("hsm.migrated_bytes", "migrated_bytes"),
+        ("hsm.recalled_bytes", "recalled_bytes"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda m=manager, a=attr: float(getattr(m, a))),
+            kind="counter",
+            **labels,
+        )
+
+
+def attach_detector(detector) -> None:
+    """Wire a :class:`~repro.faults.detector.DiskLeaseDetector`.
+
+    Detection-latency and MTTR histograms are recorded inline by the
+    detector at declare/recover time; the callbacks here expose the
+    running totals.
+    """
+    OBS.register_callback(
+        "faults.detections",
+        lambda d=detector: float(len(d.detections)),
+        kind="counter",
+    )
+    OBS.register_callback(
+        "faults.recoveries",
+        lambda d=detector: float(len(d.recoveries)),
+        kind="counter",
+    )
+    OBS.register_callback(
+        "faults.detected_down",
+        lambda d=detector: float(len(d.detected_down)),
+        kind="gauge",
+    )

@@ -426,6 +426,9 @@ class Simulation:
         self._fifo: deque[tuple[float, int, Any]] = deque()
         self._seq = 0
         self._tpool: list[Timeout] = []
+        #: Zero-delay timeouts served from the recycling pool (always-on:
+        #: incremented outside the run loop, scraped by repro.obs).
+        self.timeout_pool_hits = 0
         self.rng = None  # set lazily by RngRegistry users
 
     @property
@@ -450,6 +453,7 @@ class Simulation:
             t._defused = False
             t.delay = delay
             self._push(delay, NORMAL, t)
+            self.timeout_pool_hits += 1
             if PROFILE.enabled:
                 PROFILE.count("kernel.timeout_pool_hits")
             return t

@@ -3,30 +3,49 @@
 :class:`Monitor` bundles the rate meters and gauges an experiment registers,
 stamped with the simulation clock; the experiment harnesses read figures out
 of it at the end of a run.
+
+Since the telemetry layer landed, the primitives live in
+:mod:`repro.obs.metrics` — :class:`Gauge` here is a thin shim that binds
+an :class:`repro.obs.metrics.Gauge` to one simulation's clock so existing
+``gauge.set(value)`` call sites keep working unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from repro.obs.metrics import Gauge as ObsGauge
 from repro.sim.kernel import Simulation
 from repro.util.timeseries import RateMeter, TimeSeries
 
 
 class Gauge:
-    """A sampled scalar (queue depth, cache occupancy) over sim time."""
+    """A sampled scalar (queue depth, cache occupancy) over sim time.
+
+    Every :meth:`set` records a timestamped sample — the full history is
+    kept (not just the last value), so ``rate_series``-style queries work
+    for gauges the same way they do for meters.
+    """
 
     def __init__(self, sim: Simulation, name: str = "") -> None:
         self.sim = sim
-        self.series = TimeSeries(name=name)
+        self.obs = ObsGauge(name=name)
+
+    @property
+    def name(self) -> str:
+        return self.obs.name
 
     def set(self, value: float) -> None:
-        self.series.add(self.sim.now, value)
+        self.obs.set(value, self.sim.now)
 
     def last(self) -> float:
-        if self.series.empty:
-            raise ValueError(f"gauge {self.series.name!r} never set")
-        return self.series.values[-1]
+        # MetricError subclasses ValueError and names the gauge.
+        return self.obs.last()
+
+    @property
+    def series(self) -> TimeSeries:
+        """The full sample history as a :class:`TimeSeries`."""
+        return self.obs.series()
 
 
 class Monitor:
@@ -61,6 +80,10 @@ class Monitor:
 
         (Looking the meter up via :meth:`meter` would silently create an
         empty one, turning a typo into an empty series downstream.)
+
+        An empty window — ``t_end <= 0``, i.e. at or before the first
+        window's start — yields an empty series; see
+        :meth:`repro.util.timeseries.RateMeter.series`.
         """
         m = self.meters.get(name)
         if m is None:
@@ -69,3 +92,17 @@ class Monitor:
                 f"known meters: {sorted(self.meters)}"
             )
         return m.series(t_end if t_end is not None else self.sim.now)
+
+    def gauge_series(self, name: str) -> TimeSeries:
+        """Sample history of gauge ``name``; raises ``KeyError`` if unknown.
+
+        The gauge counterpart of :meth:`rate_series` — same typo
+        protection, same :class:`TimeSeries` carrier.
+        """
+        g = self.gauges.get(name)
+        if g is None:
+            raise KeyError(
+                f"no gauge {name!r} was ever set; "
+                f"known gauges: {sorted(self.gauges)}"
+            )
+        return g.series

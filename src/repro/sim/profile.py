@@ -110,8 +110,16 @@ class Profile:
     # -- reporting ----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Plain-dict copy (for JSON emission / assertions)."""
-        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+        """Plain-dict copy (for JSON emission / assertions).
+
+        Delegates to :func:`repro.obs.export.profile_snapshot` so
+        ``report --profile-json`` output follows the same schema the CI
+        validators (:func:`repro.obs.export.validate_profile_snapshot`)
+        check.
+        """
+        from repro.obs.export import profile_snapshot
+
+        return profile_snapshot(self)
 
     def report(self) -> str:
         """Human-readable table of all counters and timers."""

@@ -286,27 +286,15 @@ class Tracer:
     # -- exporters -------------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
-        """Plain-dict summary for JSON emission / ``ExperimentResult``."""
-        drained = sum(1 for r in self.flows if r.t_end is not None)
-        return {
-            "events": {
-                "recorded": self.events_recorded,
-                "buffered": len(self._events),
-                "dropped": self.events_dropped,
-                "open_spans": len(self._open),
-            },
-            "spans_by_category": {
-                cat: {"count": int(n), "sim_seconds": secs}
-                for cat, (n, secs) in sorted(self._span_stats.items())
-            },
-            "flows": {
-                "recorded": len(self.flows),
-                "drained": drained,
-                "dropped": self.flows_dropped,
-            },
-            "bounds": self.bound_summary(),
-            "links": self.link_summary(),
-        }
+        """Plain-dict summary for JSON emission / ``ExperimentResult``.
+
+        Delegates to :func:`repro.obs.export.trace_snapshot` — the one
+        serialization path for metrics-shaped artifacts, validated by
+        :func:`repro.obs.export.validate_trace_snapshot` in CI.
+        """
+        from repro.obs.export import trace_snapshot
+
+        return trace_snapshot(self)
 
     def to_chrome(self) -> dict:
         """Chrome trace-event JSON (object form), loadable in Perfetto.

@@ -183,13 +183,20 @@ class RateMeter:
         self.total_bytes += nbytes
 
     def series(self, t_end: float | None = None) -> TimeSeries:
-        """Aggregate into a per-window rate trace (bytes/second samples)."""
+        """Aggregate into a per-window rate trace (bytes/second samples).
+
+        An empty window — ``t_end <= 0``, i.e. at or before the first
+        window's start — yields an empty series rather than one
+        catch-all bin covering no time.
+        """
         out = TimeSeries(name=self.name)
         if not self._events:
             return out
         t0 = 0.0
         last = t_end if t_end is not None else self._events[-1][0]
-        nbins = max(1, int(math.ceil((last - t0) / self.window)))
+        if last <= t0:
+            return out
+        nbins = int(math.ceil((last - t0) / self.window))
         bins = [0.0] * nbins
         for t, nbytes in self._events:
             i = min(nbins - 1, int((t - t0) / self.window))

@@ -1,0 +1,162 @@
+"""Tests for the metrics registry, callbacks, scrape rows, and collector."""
+
+import pytest
+
+from repro.obs.collect import Collector
+from repro.obs.export import validate_snapshot_row
+from repro.obs.metrics import MetricError, counter_delta
+from repro.obs.registry import SCHEMA, MetricsRegistry
+from repro.sim.kernel import Simulation
+
+
+class TestRegistration:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_labels_distinguish_children(self):
+        reg = MetricsRegistry()
+        a = reg.counter("rpc", op="read")
+        b = reg.counter("rpc", op="write")
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0.0
+
+    def test_family_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(MetricError, match="already registered as counter"):
+            reg.gauge("m")
+
+    def test_kind_collision_caught_across_labels(self):
+        # The *family* has one kind, labels or not.
+        reg = MetricsRegistry()
+        reg.counter("m", op="read")
+        with pytest.raises(MetricError):
+            reg.histogram("m", op="write")
+
+    def test_duplicate_callback_key_raises(self):
+        reg = MetricsRegistry()
+        reg.register_callback("depth", lambda: 1.0)
+        with pytest.raises(MetricError, match="already registered"):
+            reg.register_callback("depth", lambda: 2.0)
+
+    def test_callback_cannot_shadow_stored_metric(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth")
+        with pytest.raises(MetricError):
+            reg.register_callback("depth", lambda: 1.0)
+
+    def test_callback_kind_validated(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.register_callback("x", lambda: 1.0, kind="histogram")
+
+
+class TestScrape:
+    def test_row_shape_is_valid(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        reg.inc("events", 5)
+        reg.set_gauge("depth", 3.0, t=0.0)
+        reg.observe("lat", 0.01)
+        row = reg.scrape(sim)
+        validate_snapshot_row(row)
+        assert row["schema"] == SCHEMA
+        assert row["counters"]["events"] == 5.0
+        assert row["gauges"]["depth"] == 3.0
+        assert row["histograms"]["lat"]["count"] == 1
+
+    def test_unset_gauges_and_empty_histograms_omitted(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        reg.gauge("never_set")
+        reg.histogram("never_observed")
+        row = reg.scrape(sim)
+        assert "never_set" not in row["gauges"]
+        assert "never_observed" not in row["histograms"]
+
+    def test_callbacks_evaluated_at_scrape_time(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        state = {"depth": 0}
+        reg.register_callback("kernel.depth", lambda: state["depth"])
+        reg.register_callback(
+            "kernel.events", lambda: state["depth"] * 10, kind="counter"
+        )
+        state["depth"] = 7
+        row = reg.scrape(sim)
+        assert row["gauges"]["kernel.depth"] == 7.0
+        assert row["counters"]["kernel.events"] == 70.0
+
+    def test_multi_callback_merges_canonical_keys(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        reg.register_multi(lambda: {
+            "counters": {"flow.bytes{sim=1}": 42},
+            "gauges": {"net.link.utilization{link=a->b,sim=1}": 0.5},
+        })
+        row = reg.scrape(sim)
+        assert row["counters"]["flow.bytes{sim=1}"] == 42.0
+        assert row["gauges"]["net.link.utilization{link=a->b,sim=1}"] == 0.5
+
+    def test_windowed_counter_reset_semantics(self):
+        # A counter reset between scrapes must still yield the correct
+        # per-window delta via counter_delta (Prometheus rate() rules).
+        sim = Simulation()
+        reg = MetricsRegistry()
+        c = reg.counter("io")
+        c.inc(10)
+        r0 = reg.scrape(sim)
+        c.reset()
+        c.inc(4)
+        r1 = reg.scrape(sim)
+        assert counter_delta(r0["counters"]["io"], r1["counters"]["io"]) == 4.0
+        c.inc(1)
+        r2 = reg.scrape(sim)
+        assert counter_delta(r1["counters"]["io"], r2["counters"]["io"]) == 1.0
+
+    def test_reset_clears_everything(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.register_callback("cb", lambda: 1.0)
+        reg.register_multi(lambda: {})
+        reg.scrape(sim)
+        reg.reset()
+        assert reg.rows == []
+        assert reg.last_row() is None
+        row = reg.scrape(sim)
+        assert row["counters"] == {}
+        # The callback slot is free again after a reset.
+        reg.register_callback("cb", lambda: 2.0)
+
+
+class TestCollector:
+    def test_scrapes_on_sim_cadence(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        reg.enable()
+        reg.inc("ticks")
+        Collector(sim, reg, interval=0.5).start()
+
+        def run():
+            yield sim.timeout(2.0)
+
+        sim.run(until=sim.process(run()))
+        # Immediate scrape at t=0, then every 0.5s until the run ends.
+        times = [row["t"] for row in reg.rows]
+        assert times[0] == 0.0
+        assert times == sorted(times)
+        assert len(reg.rows) >= 4
+        for row in reg.rows:
+            validate_snapshot_row(row)
+
+    def test_rows_tagged_with_sim_id(self):
+        reg = MetricsRegistry()
+        for _ in range(2):
+            sim = Simulation()
+            reg.scrape(sim)
+        assert reg.rows[0]["sim"] != reg.rows[1]["sim"]

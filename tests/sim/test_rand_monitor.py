@@ -129,3 +129,37 @@ class TestMonitor:
         mon = Monitor(sim, window=1.0)
         assert mon.meter("fine", window=0.25).window == 0.25
         assert mon.meter("coarse").window == 1.0
+
+    def test_rate_series_empty_window_at_t_zero(self):
+        # Asking for the trace at sim start (t_end=0) is an empty window,
+        # not a crash and not a single all-of-time bin.
+        sim = Simulation()
+        mon = Monitor(sim, window=1.0)
+        mon.record_bytes("net", 100)
+        assert mon.rate_series("net", t_end=0.0).empty
+        # Implicit t_end=sim.now at t=0 behaves the same way.
+        assert mon.rate_series("net").empty
+
+    def test_gauge_history_survives_many_sets(self):
+        # Regression: Gauge must keep timestamped samples, not only the
+        # last value — series-style queries need the history.
+        sim = Simulation()
+        mon = Monitor(sim)
+
+        def proc(sim):
+            for v in (1, 2, 3):
+                mon.gauge("depth").set(v)
+                yield sim.timeout(1.0)
+
+        sim.process(proc(sim))
+        sim.run()
+        series = mon.gauge_series("depth")
+        assert series.times == [0.0, 1.0, 2.0]
+        assert series.values == [1.0, 2.0, 3.0]
+
+    def test_gauge_series_unknown_gauge_raises(self):
+        sim = Simulation()
+        mon = Monitor(sim)
+        mon.gauge("depth").set(1)
+        with pytest.raises(KeyError, match="depth"):
+            mon.gauge_series("depht")

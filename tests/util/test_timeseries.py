@@ -118,6 +118,24 @@ class TestRateMeter:
         assert m.mean_rate() == 0.0
         assert m.series().empty
 
+    def test_empty_window_yields_empty_series(self):
+        # t_end <= 0 is a degenerate window: no bins, not one catch-all
+        # bin covering zero time.
+        m = RateMeter(window=1.0)
+        m.record(0.5, 100.0)
+        assert m.series(t_end=0.0).empty
+        assert m.series(t_end=-1.0).empty
+
+    def test_all_events_at_t_zero(self):
+        # Events recorded exactly at t=0 with no explicit t_end also form
+        # an empty window (consistent with mean_rate's last<=0 rule).
+        m = RateMeter(window=1.0)
+        m.record(0.0, 100.0)
+        assert m.series().empty
+        assert m.mean_rate() == 0.0
+        # An explicit horizon widens the window and recovers the sample.
+        assert m.series(t_end=1.0).values == [100.0]
+
     def test_monotonicity_enforced(self):
         m = RateMeter()
         m.record(2.0, 1.0)
