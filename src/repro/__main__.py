@@ -5,7 +5,7 @@ Subcommands::
     python -m repro report [--quick] [--only E1 A3] [--out FILE]
                            [--profile] [--profile-json FILE] [--trace-dir DIR]
                            [--metrics-dir DIR]
-    python -m repro run E13 [--quick] [--out FILE] [--metrics-dir DIR]
+    python -m repro run E15 [--quick] [--out FILE] [--metrics-dir DIR]
     python -m repro run --list
     python -m repro trace E8 --out trace.json [--quick]
     python -m repro health --metrics-dir DIR [--exp E13] [--html FILE]

@@ -1,0 +1,25 @@
+"""Wide-area caching gateway: site-local edge caches for remote mounts.
+
+See :mod:`repro.cache.gateway` for the data path, :mod:`repro.cache.lease`
+for the consistency protocol, and ``docs/ARCHITECTURE.md`` §12 for the
+design discussion.
+"""
+
+from repro.cache.gateway import CONTROL_BYTES, CacheGateway, GatewayMount
+from repro.cache.lease import LeaseInfo, LeaseServer
+from repro.cache.policy import LruPolicy, TwoQPolicy, make_policy
+from repro.cache.store import CacheWedgedError, GatewayBlockCache, GatewayEntry
+
+__all__ = [
+    "CONTROL_BYTES",
+    "CacheGateway",
+    "CacheWedgedError",
+    "GatewayBlockCache",
+    "GatewayEntry",
+    "GatewayMount",
+    "LeaseInfo",
+    "LeaseServer",
+    "LruPolicy",
+    "TwoQPolicy",
+    "make_policy",
+]

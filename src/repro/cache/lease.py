@@ -1,0 +1,105 @@
+"""Revalidation leases: cache consistency layered on the token manager.
+
+The home cluster's token manager already serializes conflicting access
+between *clients*; the gateway cache needs a second, cheaper contract
+because the gateway itself holds no tokens. The :class:`LeaseServer`
+(living on the filesystem manager node) keeps a per-inode **version**
+that advances whenever any node is granted an ``rw`` token on the inode
+— the earliest moment a write can become visible. Gateways obtain
+bounded-lifetime *validity leases* over inodes:
+
+* within a live lease, gateway reads are served from cache with **no WAN
+  round trip** (bounded staleness, like NFS attribute caching or AFM's
+  revalidation interval);
+* an expired lease forces one revalidation round trip: the gateway
+  learns the current version and, when a *foreign* writer advanced it,
+  drops its clean cached blocks for the inode;
+* a conflicting grant while a lease is live triggers an asynchronous
+  **invalidation push** from the lease server to the gateway — the lease
+  breaks when the message arrives (home-side token revocation has, by
+  then, already flushed any dirty edge data, because the grant hook runs
+  after revocations complete).
+
+The hook costs nothing when no gateway exists:
+``TokenManager.on_grant`` stays ``None`` and the grant path is
+byte-for-byte the pre-gateway code — the golden-metrics invariance the
+acceptance criteria pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.tokens import RW
+
+
+@dataclass
+class LeaseInfo:
+    version: int
+    expires_at: float
+    validated_at: float
+
+
+class LeaseServer:
+    """Per-inode version authority for one filesystem's gateways."""
+
+    def __init__(self, fs, duration: float = 10.0) -> None:
+        if duration <= 0:
+            raise ValueError("lease duration must be positive")
+        self.fs = fs
+        self.sim = fs.sim
+        self.node = fs.manager_node
+        self.duration = duration
+        self._version: Dict[int, int] = {}
+        self._writer: Dict[int, str] = {}
+        self.gateways: List = []
+        self.validations = 0
+        self.invalidations = 0
+        if fs.token_manager.on_grant is not None:
+            raise RuntimeError(
+                f"filesystem {fs.name!r} already has a grant hook installed"
+            )
+        fs.token_manager.on_grant = self._on_grant
+
+    def register(self, gateway) -> None:
+        if gateway not in self.gateways:
+            self.gateways.append(gateway)
+
+    # -- gateway-facing protocol ------------------------------------------------
+
+    def validate(self, ino: int) -> Tuple[int, str]:
+        """Current (version, last-writer) for ``ino``.
+
+        Called by a gateway at the end of its revalidation round trip —
+        the WAN latency was already paid by the message exchange, so this
+        is plain shared state, not another event.
+        """
+        self.validations += 1
+        return self._version.get(ino, 0), self._writer.get(ino, "")
+
+    # -- token-manager hook -----------------------------------------------------
+
+    def _on_grant(
+        self, client: str, ino: int, mode: str, start: int, end: int
+    ) -> None:
+        """An ``rw`` grant makes a write possible: bump the version and
+        push invalidations to every gateway not serving the writer."""
+        if mode != RW:
+            return
+        self._version[ino] = self._version.get(ino, 0) + 1
+        self._writer[ino] = client
+        version = self._version[ino]
+        for gw in self.gateways:
+            if client in gw.local_nodes or client in gw.nodes:
+                # The write flows *through* this gateway; its cache is
+                # updated on the write path, no invalidation needed.
+                continue
+            target = gw.lease_holder_node(ino)
+            if target is None:
+                continue  # no live lease, nothing cached to go stale
+            self.invalidations += 1
+            evt = self.fs.messages.send(self.node, target, nbytes=256)
+            evt.callbacks.append(
+                lambda _e, g=gw, i=ino, v=version: g.lease_broken(i, v)
+            )

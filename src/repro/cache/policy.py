@@ -1,0 +1,141 @@
+"""Eviction policies for the gateway block cache.
+
+The gateway cache (:mod:`repro.cache.store`) separates *bookkeeping*
+(which blocks are resident, which are dirty) from *policy* (which clean
+block to evict next). Two policies ship:
+
+* :class:`LruPolicy` — classic least-recently-used, the same ordering the
+  client :class:`~repro.core.pagepool.PagePool` uses;
+* :class:`TwoQPolicy` — a 2Q/ARC-style scan-resistant policy: first
+  touches land in a FIFO probation queue (``A1in``), re-references
+  promote to a protected LRU (``Am``), and a bounded ghost list
+  (``A1out``) remembers recently evicted probation keys so a second miss
+  on them goes straight to the protected queue. A single streaming scan
+  (the staging workload E7 models) then cannot flush the hot set that
+  repeat-access jobs (the GFS workload) depend on.
+
+Both policies are pure data structures — no randomness, no wall clock —
+so cache contents are bit-reproducible for a given access sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional
+
+Key = Hashable
+
+
+class LruPolicy:
+    """Least-recently-used over all resident keys."""
+
+    name = "lru"
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ValueError("policy needs at least one slot")
+        self.slots = slots
+        self._order: "OrderedDict[Key, None]" = OrderedDict()
+
+    def on_insert(self, key: Key) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: Key) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def on_remove(self, key: Key) -> None:
+        self._order.pop(key, None)
+
+    def victim(self, evictable: Callable[[Key], bool]) -> Optional[Key]:
+        """Oldest key passing ``evictable`` (dirty blocks are pinned)."""
+        for key in self._order:
+            if evictable(key):
+                return key
+        return None
+
+
+class TwoQPolicy:
+    """Simplified 2Q: FIFO probation + protected LRU + ghost history."""
+
+    name = "2q"
+
+    #: fraction of slots the probation FIFO may occupy before it is
+    #: evicted from preferentially (the classic Kin knob).
+    KIN_FRACTION = 0.25
+    #: ghost-list capacity as a fraction of slots (the Kout knob).
+    KOUT_FRACTION = 0.50
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ValueError("policy needs at least one slot")
+        self.slots = slots
+        self.kin = max(1, int(slots * self.KIN_FRACTION))
+        self.kout = max(1, int(slots * self.KOUT_FRACTION))
+        self._a1in: "OrderedDict[Key, None]" = OrderedDict()  # FIFO
+        self._am: "OrderedDict[Key, None]" = OrderedDict()  # LRU
+        self._ghosts: "OrderedDict[Key, None]" = OrderedDict()
+        self.promotions = 0
+        self.ghost_hits = 0
+
+    def on_insert(self, key: Key) -> None:
+        if key in self._ghosts:
+            # Seen recently: this block has a re-reference interval shorter
+            # than the ghost horizon, so it is hot — protect it.
+            del self._ghosts[key]
+            self.ghost_hits += 1
+            self._am[key] = None
+            self._am.move_to_end(key)
+        else:
+            self._a1in[key] = None
+
+    def on_access(self, key: Key) -> None:
+        if key in self._am:
+            self._am.move_to_end(key)
+        elif key in self._a1in:
+            # Re-referenced while on probation: promote to the protected LRU.
+            del self._a1in[key]
+            self._am[key] = None
+            self.promotions += 1
+
+    def on_remove(self, key: Key) -> None:
+        self._a1in.pop(key, None)
+        self._am.pop(key, None)
+
+    def _remember_ghost(self, key: Key) -> None:
+        self._ghosts[key] = None
+        while len(self._ghosts) > self.kout:
+            self._ghosts.popitem(last=False)
+
+    def victim(self, evictable: Callable[[Key], bool]) -> Optional[Key]:
+        """Probation FIFO first (when over Kin), then the protected LRU."""
+        if len(self._a1in) > self.kin:
+            for key in self._a1in:
+                if evictable(key):
+                    self._remember_ghost(key)
+                    return key
+        for key in self._am:
+            if evictable(key):
+                return key
+        # Protected queue fully pinned: fall back to any evictable
+        # probation entry regardless of Kin.
+        for key in self._a1in:
+            if evictable(key):
+                self._remember_ghost(key)
+                return key
+        return None
+
+
+POLICIES = {"lru": LruPolicy, "2q": TwoQPolicy}
+
+
+def make_policy(name: str, slots: int):
+    """Instantiate a policy by name (``"lru"`` or ``"2q"``)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return cls(slots)

@@ -186,6 +186,10 @@ class MountedFs:
         fs.mounts.append(self)
         # Dirty throttle: block writers once half the pool is dirty.
         self._max_dirty_blocks = max(1, int(pagepool_bytes // fs.block_size // 2))
+        if OBS.enabled:
+            from repro.obs.wire import attach_pagepool
+
+            attach_pagepool(self)
 
     # ==================== public API (each returns an event) ====================
 
@@ -523,6 +527,47 @@ class MountedFs:
             bytes(part) if type(part) is int else part for part in out
         )
 
+    def _remote_read_event(self, inode: Inode, block_index: int,
+                           nsd_id: int, phys: int) -> Event:
+        """One block's remote read; subclasses reroute (caching gateway)."""
+        if self.fs.replication.active:
+            # Replicated path: cheapest replica, end-to-end verify,
+            # failover + read-repair on rot (repro.core.replication).
+            return self.fs.integrity.read_block(
+                self.node,
+                self.fs.replica_placements(inode, block_index),
+                tags=self.tags + ("read",),
+            )
+        return self.fs.service.read_block(
+            self.node,
+            nsd_id,
+            phys,
+            0,
+            self.fs.block_size,
+            tags=self.tags + ("read",),
+        )
+
+    def _remote_write_event(self, inode: Inode, block: int, nsd_id: int,
+                            phys: int, lo: int, payload: "bytes | int") -> Event:
+        """One block's remote write; subclasses reroute (caching gateway)."""
+        if self.fs.replication.active:
+            # Fan out to every replica; completes at the ack quorum.
+            return self.fs.integrity.write_block(
+                self.node,
+                self.fs.replica_placements(inode, block),
+                lo,
+                payload,
+                tags=self.tags + ("write",),
+            )
+        return self.fs.service.write_block(
+            self.node,
+            nsd_id,
+            phys,
+            lo,
+            payload,
+            tags=self.tags + ("write",),
+        )
+
     def _fetch_block(self, inode: Inode, block_index: int) -> Event:
         """Fetch one block into the pool (deduplicated across callers)."""
         key = (inode.ino, block_index)
@@ -538,25 +583,17 @@ class MountedFs:
                 yield self.sim.timeout(0.0)
                 data = bytes(self.fs.block_size) if self.fs.store_data else None
             else:
-                nsd_id, phys = placed
-                if self.fs.replication.active:
-                    # Replicated path: cheapest replica, end-to-end verify,
-                    # failover + read-repair on rot (repro.core.replication).
-                    evt = self.fs.integrity.read_block(
-                        self.node,
-                        self.fs.replica_placements(inode, block_index),
-                        tags=self.tags + ("read",),
-                    )
-                else:
-                    evt = self.fs.service.read_block(
-                        self.node,
-                        nsd_id,
-                        phys,
-                        0,
-                        self.fs.block_size,
-                        tags=self.tags + ("read",),
-                    )
-                data = yield evt
+                evt = self._remote_read_event(inode, block_index, *placed)
+                try:
+                    data = yield evt
+                except BaseException as exc:
+                    # Throw into every waiter instead of leaving them
+                    # parked forever; an unawaited read-ahead fetch just
+                    # drops its failure (defused) and a later read retries.
+                    del self._fetching[key]
+                    done._defused = True
+                    done.fail(exc)
+                    return
                 if not self.fs.store_data:
                     data = None
             if self.pool.peek(*key) is None:
@@ -720,24 +757,7 @@ class MountedFs:
                 else:
                     payload = hi - lo
                 self.pool.mark_clean(ino, block)  # rewrites re-dirty and re-flush
-                if self.fs.replication.active:
-                    # Fan out to every replica; completes at the ack quorum.
-                    yield self.fs.integrity.write_block(
-                        self.node,
-                        self.fs.replica_placements(inode, block),
-                        lo,
-                        payload,
-                        tags=self.tags + ("write",),
-                    )
-                else:
-                    yield self.fs.service.write_block(
-                        self.node,
-                        nsd_id,
-                        phys,
-                        lo,
-                        payload,
-                        tags=self.tags + ("write",),
-                    )
+                yield self._remote_write_event(inode, block, nsd_id, phys, lo, payload)
         finally:
             del self._flushing[key]
             done.succeed()

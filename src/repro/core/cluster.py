@@ -429,12 +429,20 @@ class Cluster:
         node: str,
         identity: Identity = ROOT,
         access: str = "rw",
+        gateway=None,
         **mount_kwargs,
     ) -> Event:
-        """Mount a local or remote device on ``node``; value is a MountedFs."""
+        """Mount a local or remote device on ``node``; value is a MountedFs.
+
+        ``gateway`` (a :class:`repro.cache.CacheGateway`, remote devices
+        only) routes the mount's block traffic through the site's caching
+        gateway cluster instead of straight over the WAN.
+        """
         if node not in self.nodes:
             raise ClusterError(f"node {node!r} is not in cluster {self.name!r}")
         if device in self.filesystems:
+            if gateway is not None:
+                raise ClusterError("gateway mounts are for remote devices only")
             return self.gfs.sim.process(
                 self._mount_local(device, node, identity, access, mount_kwargs),
                 name=f"mount:{device}",
@@ -442,7 +450,10 @@ class Cluster:
         if device in self.remote_fs:
             from repro.core.multicluster import mount_remote
 
-            return mount_remote(self, device, node, identity, access, mount_kwargs)
+            return mount_remote(
+                self, device, node, identity, access, mount_kwargs,
+                gateway=gateway,
+            )
         raise ClusterError(f"unknown device {device!r} (no local fs, no mmremotefs)")
 
     def _mount_local(self, device, node, identity, access, mount_kwargs):

@@ -47,16 +47,26 @@ def mount_remote(
     identity: Identity,
     access: str,
     mount_kwargs: dict,
+    gateway=None,
 ) -> Event:
-    """Run the cross-cluster mount protocol; event value is a MountedFs."""
+    """Run the cross-cluster mount protocol; event value is a MountedFs.
+
+    With ``gateway`` (a :class:`repro.cache.CacheGateway` serving this
+    site), the handshake and access checks are identical but the returned
+    mount is a :class:`repro.cache.GatewayMount` whose block traffic runs
+    through the gateway cluster.
+    """
     gfs = importing.gfs
     return gfs.sim.process(
-        _mount_remote(importing, local_device, node, identity, access, mount_kwargs),
+        _mount_remote(
+            importing, local_device, node, identity, access, mount_kwargs, gateway
+        ),
         name=f"rmount:{local_device}",
     )
 
 
-def _mount_remote(importing, local_device, node, identity, access, mount_kwargs):
+def _mount_remote(importing, local_device, node, identity, access, mount_kwargs,
+                  gateway=None):
     gfs = importing.gfs
     rdef = importing.remote_fs[local_device]
     cluster_def = importing.remote_clusters[rdef.cluster]
@@ -92,7 +102,22 @@ def _mount_remote(importing, local_device, node, identity, access, mount_kwargs)
         yield gfs.messages.send(contact, server_node, nbytes=256)
 
     serving.active_remote_mounts += 1
-    mount = MountedFs(fs, node, identity=identity, access=access, **mount_kwargs)
+    if gateway is not None:
+        if gateway.fs is not fs:
+            raise MountAuthError(
+                f"gateway {gateway.name!r} caches {gateway.fs.name!r}, "
+                f"not {rdef.remote_device!r}"
+            )
+        from repro.cache.gateway import GatewayMount
+
+        # The gateway cluster serves this mount's blocks: tell its nodes
+        # the client authenticated (parallel site-local notification).
+        yield gfs.messages.fanout(contact, gateway.nodes, nbytes=256)
+        mount = GatewayMount(
+            gateway, node, identity=identity, access=access, **mount_kwargs
+        )
+    else:
+        mount = MountedFs(fs, node, identity=identity, access=access, **mount_kwargs)
     mount.remote_cluster = serving.name  # type: ignore[attr-defined]
     return mount
 

@@ -314,6 +314,15 @@ class NsdService:
         self.partition = None
         self.partition_parked = 0
         self._down_waiters: Dict[str, list] = {}
+        #: Opt-in per-client served-byte attribution (``{node: bytes}``).
+        #: The caching gateway turns this on so experiments can cross-check
+        #: origin traffic against the gateway's own counters; off by
+        #: default, so existing runs pay nothing.
+        self.track_client_bytes = False
+        self.client_bytes: Dict[str, float] = {}
+
+    def _account_client(self, node: str, nbytes: float) -> None:
+        self.client_bytes[node] = self.client_bytes.get(node, 0.0) + nbytes
 
     def attach_health(self, health) -> None:
         """RPCs to nodes that are down in ``health`` park until the lease
@@ -578,6 +587,8 @@ class NsdService:
             tr.end(self.sim, sid)
         if rpc:
             tr.end(self.sim, rpc)
+        if self.track_client_bytes:
+            self._account_client(client_node, length)
         if OBS.enabled:
             OBS.inc("nsd.server.bytes", length, server=server.node, dir="in")
         return length
@@ -670,6 +681,8 @@ class NsdService:
         if rpc:
             tr.end(self.sim, rpc)
         self.blocks_read += 1
+        if self.track_client_bytes:
+            self._account_client(client_node, length)
         if OBS.enabled:
             OBS.inc("nsd.server.bytes", length, server=server.node, dir="out")
         # 4. end-to-end verification at the client, over the bytes that
@@ -711,6 +724,8 @@ class NsdService:
         The event's value is the total byte count.
         """
         items = tuple(items)
+        if not items:
+            raise ValueError("write_blocks needs at least one (phys, offset, data)")
         if len(items) == 1:
             phys, offset, data = items[0]
             return self.write_block(
@@ -795,6 +810,8 @@ class NsdService:
             tr.end(self.sim, sid)
         if rpc:
             tr.end(self.sim, rpc)
+        if self.track_client_bytes:
+            self._account_client(client_node, total)
         if OBS.enabled:
             OBS.inc("nsd.server.bytes", total, server=server.node, dir="in")
         return total
@@ -819,6 +836,8 @@ class NsdService:
         ``phys_list`` order.
         """
         phys_list = tuple(phys_list)
+        if not phys_list:
+            raise ValueError("read_blocks needs at least one physical block")
         args = (client_node, nsd_id, phys_list, sequential, tags, verify)
         gen = (
             self._with_retry("read_multi", args)
@@ -891,6 +910,8 @@ class NsdService:
         if rpc:
             tr.end(self.sim, rpc)
         self.blocks_read += len(phys_list)
+        if self.track_client_bytes:
+            self._account_client(client_node, total)
         if OBS.enabled:
             OBS.inc("nsd.server.bytes", total, server=server.node, dir="out")
         # 4. per-block end-to-end verification at the client

@@ -18,6 +18,14 @@ from typing import Dict, List, Optional, Set, Tuple
 Key = Tuple[int, int]  # (ino, logical block index)
 
 
+class PoolWedgedError(MemoryError):
+    """Every resident block is dirty; nothing can be evicted.
+
+    ``MemoryError`` subclass so existing ``except MemoryError`` handlers
+    keep working; the message names the block whose insert wedged.
+    """
+
+
 @dataclass
 class CacheEntry:
     data: Optional[bytes]  # None in size-only mode
@@ -174,6 +182,25 @@ class PagePool:
     def total_dirty_blocks(self) -> int:
         return sum(len(blocks) for blocks in self._dirty_by_ino.values())
 
+    # -- stats ------------------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Snapshot for telemetry (``repro.obs`` scrapes this per mount)."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "used": float(self.used),
+            "capacity": float(self.capacity),
+            "dirty_blocks": float(self.total_dirty_blocks),
+            "hit_ratio": self.hit_ratio,
+        }
+
     # -- internals ---------------------------------------------------------------
 
     def _insert(self, key: Key, entry: CacheEntry) -> None:
@@ -184,11 +211,11 @@ class PagePool:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             return
-        self._evict_for_space()
+        self._evict_for_space(key)
         self._entries[key] = entry
         self.used += self.block_size
 
-    def _evict_for_space(self) -> None:
+    def _evict_for_space(self, incoming: Key) -> None:
         while self.used + self.block_size > self.capacity:
             victim = None
             for key, entry in self._entries.items():  # LRU order
@@ -196,8 +223,12 @@ class PagePool:
                     victim = key
                     break
             if victim is None:
-                raise MemoryError(
-                    "page pool full of dirty blocks — write-behind cannot keep up"
+                ino, block = incoming
+                raise PoolWedgedError(
+                    f"page pool wedged inserting block {block} of ino {ino}: "
+                    f"all {len(self._entries)} resident blocks are dirty — "
+                    "write-behind cannot keep up (pool too small for the "
+                    "dirty throttle?)"
                 )
             del self._entries[victim]
             self.used -= self.block_size

@@ -107,6 +107,12 @@ class TokenManager:
         #: the partition heals — the split-brain gate.
         self.quorum = None
         self.quorum_parked_grants = 0
+        #: Optional grant observer ``fn(client, ino, mode, start, end)``,
+        #: called synchronously after each grant lands (still inside the
+        #: per-ino lock, revocations already complete). The caching
+        #: gateway's lease server hooks this to version inodes; ``None``
+        #: keeps the grant path byte-for-byte the pre-hook code.
+        self.on_grant = None
 
     def register_client(self, node: str, handler: RevokeHandler) -> None:
         self._handlers[node] = handler
@@ -202,6 +208,8 @@ class TokenManager:
                 HeldToken(holder=client, mode=mode, start=grant_start, end=grant_end)
             )
             self.grants += 1
+            if self.on_grant is not None:
+                self.on_grant(client, ino, mode, grant_start, grant_end)
         # grant reply back to the client
         yield self.messages.send(self.node, client, nbytes=256)
         return True

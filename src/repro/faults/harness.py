@@ -56,6 +56,7 @@ class FaultHarness:
         token_managers: Iterable = (),
         arrays: Dict[str, object] | None = None,
         watch_nodes: Iterable[str] = (),
+        gateways: Iterable = (),
     ) -> None:
         self.sim = sim
         self.service = service
@@ -100,6 +101,9 @@ class FaultHarness:
         self._retry_rng = retry_rng
         self._retry_rng_streams = retry_rng_streams
         self.token_managers = list(token_managers)
+        #: Caching gateways (repro.cache.CacheGateway) riding this
+        #: filesystem: a partition schedule wires them for heal-replay.
+        self.gateways = list(gateways)
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -119,6 +123,8 @@ class FaultHarness:
             self.service.attach_partition(self.partition)
             self.service.messages.attach_partition(self.partition)
             self.detector.quorum = self.quorum
+            for gw in self.gateways:
+                gw.attach_partition(self.partition)
         for tm in self.token_managers:
             tm.failure_detector = self.detector
             if self.quorum is not None:
@@ -170,6 +176,21 @@ class FaultHarness:
             out.update(self.quorum.metrics())
             out["quorum_parked_grants"] = float(
                 sum(getattr(tm, "quorum_parked_grants", 0) for tm in self.token_managers)
+            )
+        # Gateway replay/conflict metrics only when gateways ride along,
+        # so gateway-free chaos runs keep an identical key set.
+        if self.gateways:
+            out["gateway_write_acks"] = float(
+                sum(gw.write_acks for gw in self.gateways)
+            )
+            out["gateway_writes_flushed"] = float(
+                sum(gw.writes_flushed for gw in self.gateways)
+            )
+            out["gateway_conflicts"] = float(
+                sum(gw.conflicts for gw in self.gateways)
+            )
+            out["gateway_stale_hits"] = float(
+                sum(gw.stale_hits for gw in self.gateways)
             )
         return out
 

@@ -65,6 +65,16 @@ class MessageService:
             deliver()
         return evt
 
+    def fanout(self, src: str, dsts, payload=None, nbytes: float = 1024.0) -> Event:
+        """Send one message to every node in ``dsts`` in parallel; fires
+        when the last delivery lands (immediately for an empty fan-out)."""
+        sends = [self.send(src, dst, payload, nbytes) for dst in dsts]
+        if not sends:
+            evt = self.sim.event(name=f"fanout:{src}")
+            evt.succeed(None)
+            return evt
+        return self.sim.all_of(sends)
+
     def round_trip(
         self,
         src: str,

@@ -36,6 +36,14 @@ CLIENT_OK = "client.read.ok"
 CLIENT_ERR = "client.read.errors"
 SERVER_BYTES = "nsd.server.bytes"
 LINK_UTIL = "net.link.utilization"
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+CACHE_HIT_RATIO = "cache.hit_ratio"
+GATEWAY_OFFLOAD = "gateway.origin_offload"
+GATEWAY_DIRTY = "gateway.dirty_queue"
+POOL_HITS = "client.pagepool.hits"
+POOL_MISSES = "client.pagepool.misses"
+POOL_EVICTIONS = "client.pagepool.evictions"
 
 
 def load_experiment(metrics_dir: str, exp_id: str) -> dict:
@@ -120,6 +128,68 @@ def server_rollup(rows: List[dict]) -> List[dict]:
         {"server": s, "bytes_in": d["in"], "bytes_out": d["out"]}
         for s, d in sorted(per.items())
     ]
+
+
+def cache_rollup(rows: List[dict]) -> List[dict]:
+    """Per-gateway cache effectiveness from the final scrape."""
+    last = _last_row(rows)
+    if last is None:
+        return []
+    counters = last.get("counters", {})
+    gauges = last.get("gauges", {})
+    per: Dict[str, Dict[str, float]] = {}
+
+    def bucket(labels: Dict[str, str]) -> Dict[str, float]:
+        gw = labels.get("gw", "-")
+        return per.setdefault(gw, {
+            "hits": 0.0, "misses": 0.0, "hit_ratio": 0.0,
+            "offload": 0.0, "dirty": 0.0,
+        })
+
+    for key, v in counters.items():
+        family, labels = parse_key(key)
+        if family == CACHE_HITS:
+            bucket(labels)["hits"] = v
+        elif family == CACHE_MISSES:
+            bucket(labels)["misses"] = v
+    for key, v in gauges.items():
+        family, labels = parse_key(key)
+        if family == CACHE_HIT_RATIO:
+            bucket(labels)["hit_ratio"] = v
+        elif family == GATEWAY_OFFLOAD:
+            bucket(labels)["offload"] = v
+        elif family == GATEWAY_DIRTY:
+            bucket(labels)["dirty"] = v
+    return [
+        {"gw": gw, **d} for gw, d in sorted(per.items())
+    ]
+
+
+def pagepool_rollup(rows: List[dict]) -> List[dict]:
+    """Per-client page-pool behaviour from the final scrape."""
+    last = _last_row(rows)
+    if last is None:
+        return []
+    per: Dict[str, Dict[str, float]] = {}
+    for key, v in last.get("counters", {}).items():
+        family, labels = parse_key(key)
+        if family not in (POOL_HITS, POOL_MISSES, POOL_EVICTIONS):
+            continue
+        client = labels.get("client", "-")
+        d = per.setdefault(
+            client, {"hits": 0.0, "misses": 0.0, "evictions": 0.0}
+        )
+        attr = family.rsplit(".", 1)[1]
+        d[attr] += v
+    out = []
+    for client, d in sorted(per.items()):
+        total = d["hits"] + d["misses"]
+        out.append({
+            "client": client,
+            **d,
+            "hit_ratio": d["hits"] / total if total else 0.0,
+        })
+    return out
 
 
 def link_rollup(rows: List[dict]) -> List[dict]:
@@ -241,6 +311,34 @@ def render_experiment(exp: dict) -> List[str]:
             [
                 [s["server"], _gb(s["bytes_in"]), _gb(s["bytes_out"])]
                 for s in servers
+            ],
+        )
+
+    gateways = cache_rollup(rows)
+    if gateways:
+        lines.append("")
+        lines.append("  Caching gateways:")
+        lines += _table(
+            ["gateway", "hits", "misses", "hit ratio", "origin offload",
+             "dirty queue"],
+            [
+                [g["gw"], f"{g['hits']:.0f}", f"{g['misses']:.0f}",
+                 _fmt_pct(g["hit_ratio"]), _fmt_pct(g["offload"]),
+                 f"{g['dirty']:.0f}"]
+                for g in gateways
+            ],
+        )
+
+    pools = pagepool_rollup(rows)
+    if pools:
+        lines.append("")
+        lines.append("  Client page pools:")
+        lines += _table(
+            ["client", "hits", "misses", "evictions", "hit ratio"],
+            [
+                [p["client"], f"{p['hits']:.0f}", f"{p['misses']:.0f}",
+                 f"{p['evictions']:.0f}", _fmt_pct(p["hit_ratio"])]
+                for p in pools
             ],
         )
 

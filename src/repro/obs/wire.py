@@ -165,6 +165,113 @@ def attach_hsm(manager) -> None:
         )
 
 
+def attach_pagepool(mount) -> None:
+    """Wire one mount's :class:`~repro.core.pagepool.PagePool`.
+
+    The ``m`` label is the mount's serial within its filesystem, so an
+    experiment that remounts the same node (restart scenarios) never
+    collides on the registry's duplicate-key check.
+    """
+    labels = {
+        "client": mount.node,
+        "fs": mount.fs.name,
+        "m": str(len(mount.fs.mounts)),
+    }
+    pool = mount.pool
+    for family, attr in (
+        ("client.pagepool.hits", "hits"),
+        ("client.pagepool.misses", "misses"),
+        ("client.pagepool.evictions", "evictions"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda p=pool, a=attr: float(getattr(p, a))),
+            kind="counter",
+            **labels,
+        )
+    for family, attr in (
+        ("client.pagepool.used", "used"),
+        ("client.pagepool.capacity", "capacity"),
+        ("client.pagepool.hit_ratio", "hit_ratio"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda p=pool, a=attr: float(getattr(p, a))),
+            kind="gauge",
+            **labels,
+        )
+
+
+def attach_gateway(gateway) -> None:
+    """Wire a :class:`~repro.cache.gateway.CacheGateway` and its cache.
+
+    Hit/miss/staleness histograms are recorded inline on the gateway's
+    read/write paths; the callbacks here expose the running totals and
+    derived gauges (hit ratio, origin offload).
+    """
+    labels = {"gw": gateway.name, "fs": gateway.fs.name}
+    cache = gateway.cache
+    for family, attr in (
+        ("cache.hits", "hits"),
+        ("cache.misses", "misses"),
+        ("cache.evictions", "evictions"),
+        ("cache.inserts", "inserts"),
+        ("cache.invalidations", "invalidations"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda c=cache, a=attr: float(getattr(c, a))),
+            kind="counter",
+            **labels,
+        )
+    for family, attr in (
+        ("gateway.served_bytes", "served_bytes"),
+        ("gateway.origin_bytes", "origin_bytes"),
+        ("gateway.write_acks", "write_acks"),
+        ("gateway.writes_flushed", "writes_flushed"),
+        ("gateway.writeback_stalls", "writeback_stalls"),
+        ("gateway.lease_renewals", "lease_renewals"),
+        ("gateway.lease_breaks", "lease_breaks"),
+        ("gateway.conflicts", "conflicts"),
+    ):
+        OBS.register_callback(
+            family,
+            (lambda g=gateway, a=attr: float(getattr(g, a))),
+            kind="counter",
+            **labels,
+        )
+    OBS.register_callback(
+        "cache.hit_ratio",
+        lambda c=cache: c.hit_ratio,
+        kind="gauge",
+        **labels,
+    )
+    OBS.register_callback(
+        "cache.used_blocks",
+        lambda c=cache: float(c.used_blocks),
+        kind="gauge",
+        **labels,
+    )
+    OBS.register_callback(
+        "cache.dirty_blocks",
+        lambda c=cache: float(c.dirty_blocks),
+        kind="gauge",
+        **labels,
+    )
+    OBS.register_callback(
+        "gateway.origin_offload",
+        lambda g=gateway: g.origin_offload,
+        kind="gauge",
+        **labels,
+    )
+    OBS.register_callback(
+        "gateway.dirty_queue",
+        lambda g=gateway: float(g.dirty_queue_depth),
+        kind="gauge",
+        **labels,
+    )
+
+
 def attach_detector(detector) -> None:
     """Wire a :class:`~repro.faults.detector.DiskLeaseDetector`.
 

@@ -1,0 +1,115 @@
+"""Unit tests for the gateway eviction policies."""
+
+import pytest
+
+from repro.cache.policy import LruPolicy, TwoQPolicy, make_policy
+
+
+def all_evictable(_key):
+    return True
+
+
+class TestLru:
+    def test_victim_is_least_recently_used(self):
+        p = LruPolicy(slots=3)
+        for k in "abc":
+            p.on_insert(k)
+        p.on_access("a")  # order now: b, c, a
+        assert p.victim(all_evictable) == "b"
+
+    def test_victim_skips_pinned(self):
+        p = LruPolicy(slots=3)
+        for k in "abc":
+            p.on_insert(k)
+        assert p.victim(lambda k: k != "a") == "b"
+
+    def test_all_pinned_returns_none(self):
+        p = LruPolicy(slots=2)
+        p.on_insert("a")
+        p.on_insert("b")
+        assert p.victim(lambda k: False) is None
+
+    def test_remove_forgets(self):
+        p = LruPolicy(slots=2)
+        p.on_insert("a")
+        p.on_remove("a")
+        assert p.victim(all_evictable) is None
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)
+
+
+class TestTwoQ:
+    def test_first_touch_lands_in_probation(self):
+        p = TwoQPolicy(slots=8)
+        p.on_insert("a")
+        assert "a" in p._a1in
+        assert "a" not in p._am
+
+    def test_reaccess_promotes(self):
+        p = TwoQPolicy(slots=8)
+        p.on_insert("a")
+        p.on_access("a")
+        assert "a" in p._am
+        assert "a" not in p._a1in
+        assert p.promotions == 1
+
+    def test_ghost_hit_goes_straight_to_protected(self):
+        p = TwoQPolicy(slots=4)  # kin = 1
+        p.on_insert("a")
+        p.on_insert("b")  # probation over kin: next victim remembers a ghost
+        victim = p.victim(all_evictable)
+        assert victim == "a"
+        p.on_remove(victim)
+        p.on_insert("a")  # re-miss within the ghost horizon
+        assert "a" in p._am
+        assert p.ghost_hits == 1
+
+    def test_scan_does_not_flush_protected(self):
+        # Hot set of 2 promoted keys, then a long one-touch scan: every
+        # eviction should come from probation, never the protected LRU.
+        p = TwoQPolicy(slots=8)
+        for k in ("h1", "h2"):
+            p.on_insert(k)
+            p.on_access(k)
+        resident = {"h1", "h2"}
+        for i in range(100):
+            key = f"scan{i}"
+            if len(resident) >= 8:
+                victim = p.victim(lambda k, r=resident: k in r)
+                assert victim not in ("h1", "h2")
+                p.on_remove(victim)
+                resident.discard(victim)
+            p.on_insert(key)
+            resident.add(key)
+        assert "h1" in p._am and "h2" in p._am
+
+    def test_victim_prefers_probation_over_kin(self):
+        p = TwoQPolicy(slots=4)  # kin = 1
+        p.on_insert("a")
+        p.on_insert("b")  # probation now over kin
+        assert p.victim(all_evictable) == "a"  # FIFO head
+
+    def test_protected_falls_back_when_probation_pinned(self):
+        p = TwoQPolicy(slots=4)
+        p.on_insert("hot")
+        p.on_access("hot")  # protected
+        p.on_insert("pinned")
+        assert p.victim(lambda k: k == "hot") == "hot"
+
+    def test_ghost_list_bounded(self):
+        p = TwoQPolicy(slots=4)  # kout = 2
+        for i in range(10):
+            p._remember_ghost(f"g{i}")
+        assert len(p._ghosts) == 2
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_policy("lru", 4), LruPolicy)
+        assert isinstance(make_policy("2q", 4), TwoQPolicy)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            make_policy("clock", 4)

@@ -1,0 +1,128 @@
+"""Unit tests for the gateway block cache bookkeeping."""
+
+import pytest
+
+from repro.cache.store import CacheWedgedError, GatewayBlockCache
+
+BS = 4096
+
+
+def make_cache(blocks=4, **kw):
+    return GatewayBlockCache(blocks * BS, BS, **kw)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert c.lookup(1, 0) is None
+        c.insert(1, 0, b"x" * BS, BS)
+        entry = c.lookup(1, 0)
+        assert entry is not None and entry.length == BS
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_ratio == 0.5
+
+    def test_peek_has_no_side_effects(self):
+        c = make_cache()
+        c.insert(1, 0, None, BS)
+        c.peek(1, 0)
+        c.peek(9, 9)
+        assert c.hits == 0 and c.misses == 0
+
+    def test_capacity_must_hold_one_block(self):
+        with pytest.raises(ValueError, match="smaller than one block"):
+            GatewayBlockCache(BS - 1, BS)
+
+    def test_lru_eviction_at_capacity(self):
+        c = make_cache(blocks=2)
+        c.insert(1, 0, None, BS)
+        c.insert(1, 1, None, BS)
+        c.lookup(1, 0)  # 1 is now LRU
+        c.insert(1, 2, None, BS)
+        assert (1, 1) not in c
+        assert (1, 0) in c and (1, 2) in c
+        assert c.evictions == 1
+
+    def test_insert_does_not_clobber_dirty(self):
+        # A fetch landing after a writeback must not resurrect stale data.
+        c = make_cache()
+        c.apply_write(1, 0, 0, b"new" + b"\x00" * (BS - 3), BS, dirty_seq=5)
+        c.insert(1, 0, b"old" + b"\x00" * (BS - 3), BS)
+        assert c.peek(1, 0).data.startswith(b"new")
+        assert c.peek(1, 0).dirty
+
+
+class TestWrites:
+    def test_partial_write_merges_bytes(self):
+        c = make_cache()
+        c.insert(1, 0, b"a" * BS, BS)
+        c.apply_write(1, 0, 4, b"ZZ", 2, dirty_seq=1)
+        data = c.peek(1, 0).data
+        assert data[:4] == b"aaaa" and data[4:6] == b"ZZ" and data[6:8] == b"aa"
+
+    def test_size_only_write_tracks_length(self):
+        c = make_cache()
+        c.apply_write(1, 0, 0, None, 100, dirty_seq=1)
+        assert c.peek(1, 0).length == 100
+
+    def test_writethrough_stays_clean(self):
+        c = make_cache()
+        c.apply_write(1, 0, 0, None, BS, dirty_seq=0)
+        assert not c.peek(1, 0).dirty
+        assert c.dirty_blocks == 0
+
+    def test_out_of_bounds_write_rejected(self):
+        c = make_cache()
+        with pytest.raises(ValueError, match="exceeds block bounds"):
+            c.apply_write(1, 0, BS - 1, b"xx", 2)
+
+    def test_mark_flushed_respects_supersession(self):
+        c = make_cache()
+        c.apply_write(1, 0, 0, None, BS, dirty_seq=3)
+        c.apply_write(1, 0, 0, None, BS, dirty_seq=7)  # newer write
+        c.mark_flushed(1, 0, 3)  # flush of the older write lands
+        assert c.peek(1, 0).dirty  # still dirty: seq 7 not flushed yet
+        c.mark_flushed(1, 0, 7)
+        assert not c.peek(1, 0).dirty
+
+
+class TestInvalidate:
+    def test_invalidate_drops_clean_only(self):
+        c = make_cache()
+        c.insert(1, 0, None, BS)
+        c.insert(1, 1, None, BS)
+        c.apply_write(1, 2, 0, None, BS, dirty_seq=1)
+        c.insert(2, 0, None, BS)
+        dropped = c.invalidate_ino(1)
+        assert dropped == 2
+        assert (1, 2) in c  # dirty survives
+        assert (2, 0) in c  # other ino untouched
+        assert c.invalidations == 2
+
+
+class TestWedge:
+    def test_all_dirty_insert_raises_with_context(self):
+        c = make_cache(blocks=2)
+        c.apply_write(7, 0, 0, None, BS, dirty_seq=1)
+        c.apply_write(7, 1, 0, None, BS, dirty_seq=2)
+        with pytest.raises(CacheWedgedError, match=r"block 5 of ino 9"):
+            c.insert(9, 5, None, BS)
+
+    def test_wedged_error_is_memory_error(self):
+        assert issubclass(CacheWedgedError, MemoryError)
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        c = make_cache()
+        c.insert(1, 0, None, BS)
+        c.lookup(1, 0)
+        c.lookup(1, 1)
+        s = c.stats()
+        assert s["hits"] == 1.0 and s["misses"] == 1.0
+        assert s["used_blocks"] == 1.0 and s["slots"] == 4.0
+        assert s["hit_ratio"] == 0.5
+
+    def test_2q_policy_selectable(self):
+        c = make_cache(policy="2q")
+        c.insert(1, 0, None, BS)
+        assert c.policy.name == "2q"

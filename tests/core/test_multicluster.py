@@ -100,6 +100,22 @@ class TestMountProtocol:
         with pytest.raises(MountAuthError, match="mmauth add"):
             g.run(until=evt)
 
+    def test_serving_cluster_has_no_such_filesystem(self):
+        g, sdsc, ncsa, fs = wan_gfs()
+        ncsa.mmremotefs_add("ghost", "sdsc", "gpfs-nonexistent")
+        evt = ncsa.mmmount("ghost", "n0")
+        with pytest.raises(MountAuthError, match="has no filesystem"):
+            g.run(until=evt)
+
+    def test_missing_importing_side_key_fails(self):
+        # ncsa generated its own keypair but never imported sdsc's
+        # public key (mmremotecluster add with the wrong blob / skipped).
+        g, sdsc, ncsa, fs = wan_gfs()
+        ncsa.keystore.revoke("sdsc")
+        evt = ncsa.mmmount("gpfs-sdsc-remote", "n0")
+        with pytest.raises(MountAuthError, match="mmremotecluster missing"):
+            g.run(until=evt)
+
     def test_missing_keypair_fails(self):
         g, sdsc, ncsa, fs = wan_gfs(
             server_cipher="AUTHONLY", client_cipher="AUTHONLY", do_keys=False

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pagepool import PagePool
+from repro.core.pagepool import PagePool, PoolWedgedError
 
 
 def pool(capacity_blocks=4, block_size=1024):
@@ -119,6 +119,18 @@ class TestEviction:
         with pytest.raises(MemoryError):
             p.put_clean(1, 2, b"c", 1)
 
+    def test_wedged_pool_names_the_block(self):
+        # Regression: the error must say which insert wedged and why,
+        # not just "pool full" — and be a MemoryError subclass so old
+        # callers keep catching it.
+        p = pool(capacity_blocks=2)
+        p.write(7, 0, 0, b"d", 1)
+        p.write(7, 1, 0, b"d", 1)
+        with pytest.raises(PoolWedgedError, match=r"block 5 of ino 9") as exc:
+            p.put_clean(9, 5, b"c", 1)
+        assert "dirty" in str(exc.value)
+        assert issubclass(PoolWedgedError, MemoryError)
+
     def test_used_accounting(self):
         p = pool(capacity_blocks=4)
         p.put_clean(1, 0, b"a", 1)
@@ -144,3 +156,22 @@ class TestInvalidate:
         assert (1, 0) not in p
         assert (1, 1) in p  # dirty survives
         assert (2, 0) in p  # other ino untouched
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        p = pool(capacity_blocks=4)
+        p.put_clean(1, 0, b"a", 1)
+        p.get(1, 0)
+        p.get(1, 1)
+        p.write(1, 2, 0, b"d", 1)
+        s = p.stats()
+        assert s["hits"] == 1.0 and s["misses"] == 1.0
+        assert s["hit_ratio"] == 0.5
+        assert s["used"] == 2 * 1024.0
+        assert s["capacity"] == 4 * 1024.0
+        assert s["dirty_blocks"] == 1.0
+        assert all(isinstance(v, float) for v in s.values())
+
+    def test_hit_ratio_zero_when_untouched(self):
+        assert pool().hit_ratio == 0.0
