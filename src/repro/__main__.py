@@ -8,6 +8,8 @@ Subcommands::
     python -m repro run E15 [--quick] [--out FILE] [--metrics-dir DIR]
     python -m repro run --list
     python -m repro trace E8 --out trace.json [--quick]
+    python -m repro fuzz [--seeds N] [--base-seed S] [--duration SEC]
+                         [--out FILE]
     python -m repro health --metrics-dir DIR [--exp E13] [--html FILE]
     python -m repro info
 
@@ -15,6 +17,9 @@ Subcommands::
 ``run`` runs a single experiment by id (shorthand for ``report --only``);
 ``trace`` runs one experiment under the flight recorder and writes a
 Chrome trace-event JSON with per-flow bottleneck attribution;
+``fuzz`` runs seeded random fault storms under the invariant oracles
+(token safety, acked-write durability, byte-exactness, detection
+validity) and exits nonzero on any violation;
 ``health`` renders the fleet health report from a ``--metrics-dir``
 produced by ``run``/``report`` (SLO compliance, per-phase latency,
 per-client/server/link rollups);
@@ -101,6 +106,21 @@ def main(argv=None) -> int:
     trace.add_argument("exp_id", metavar="EXP_ID", help="experiment id, e.g. E8")
     trace.add_argument("--out", metavar="FILE", default="trace.json")
     trace.add_argument("--quick", action="store_true")
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run seeded random fault storms under invariant oracles; "
+             "exit nonzero on any violation",
+    )
+    fuzz.add_argument("--seeds", type=int, default=25, metavar="N",
+                      help="number of storms to run (default 25)")
+    fuzz.add_argument("--base-seed", type=int, default=0, metavar="S",
+                      help="first seed; storms use S..S+N-1 (default 0)")
+    fuzz.add_argument("--duration", type=float, default=6.0, metavar="SEC",
+                      help="storm length in sim seconds (default 6.0)")
+    fuzz.add_argument("--intensity", type=float, default=1.0,
+                      help="fault-mix aggressiveness multiplier (default 1.0)")
+    fuzz.add_argument("--out", metavar="FILE",
+                      help="write per-seed JSON reports to FILE")
     args = parser.parse_args(argv)
 
     if args.command == "info" or args.command is None:
@@ -148,6 +168,37 @@ def main(argv=None) -> int:
         from repro.experiments.report import run_trace
 
         return run_trace(args.exp_id, args.out, quick=args.quick)
+    if args.command == "fuzz":
+        import json
+
+        from repro.faults.fuzz import run_fuzz
+
+        reports = run_fuzz(
+            count=args.seeds,
+            base_seed=args.base_seed,
+            duration=args.duration,
+            intensity=args.intensity,
+        )
+        failed = [r for r in reports if not r.passed]
+        for r in reports:
+            status = "ok" if r.passed else "FAIL"
+            print(
+                f"seed {r.seed:>4}  {status}  ops={r.ops:<4} "
+                f"acked={r.writes_acked:<4} reads={r.reads_ok:<4} "
+                f"faults={len(r.actions)}"
+            )
+            for violation in r.violations:
+                print(f"           {violation}")
+        print(
+            f"{len(reports) - len(failed)}/{len(reports)} storms clean "
+            f"({sum(r.ops for r in reports)} ops, "
+            f"{sum(len(r.actions) for r in reports)} fault actions)"
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump([r.to_dict() for r in reports], fh, indent=2)
+            print(f"wrote {args.out}")
+        return 1 if failed else 0
     if args.command == "health":
         from repro.obs.health import main as health_main
 

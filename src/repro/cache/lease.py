@@ -56,6 +56,7 @@ class LeaseServer:
         self.gateways: List = []
         self.validations = 0
         self.invalidations = 0
+        self.takeover_invalidations = 0
         if fs.token_manager.on_grant is not None:
             raise RuntimeError(
                 f"filesystem {fs.name!r} already has a grant hook installed"
@@ -103,3 +104,38 @@ class LeaseServer:
             evt.callbacks.append(
                 lambda _e, g=gw, i=ino, v=version: g.lease_broken(i, v)
             )
+
+    # -- manager takeover --------------------------------------------------------
+
+    def replay_after_takeover(self, inos) -> int:
+        """Conservative invalidation after a manager takeover.
+
+        The recovery manager replays the ``on_grant`` registrations it
+        rebuilt (every inode with a surviving ``rw`` token) plus every
+        inode written during the outage window. Grants and writes that
+        raced the crash may never have produced an invalidation push, so
+        each such inode's version advances and every gateway holding a
+        live lease on it is told — a spurious drop of clean cache beats a
+        stale read. ``self.node`` already points at the successor
+        (``Filesystem.move_manager`` ran first), so pushes pay the new
+        manager's network path.
+        """
+        pushed = 0
+        for ino in sorted(set(inos)):
+            self._version[ino] = self._version.get(ino, 0) + 1
+            # The pre-crash writer attribution is unknown to the new
+            # manager; drop it so every site revalidates.
+            self._writer.pop(ino, None)
+            version = self._version[ino]
+            for gw in self.gateways:
+                target = gw.lease_holder_node(ino)
+                if target is None:
+                    continue
+                self.invalidations += 1
+                self.takeover_invalidations += 1
+                pushed += 1
+                evt = self.fs.messages.send(self.node, target, nbytes=256)
+                evt.callbacks.append(
+                    lambda _e, g=gw, i=ino, v=version: g.lease_broken(i, v)
+                )
+        return pushed

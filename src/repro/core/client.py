@@ -40,7 +40,7 @@ from repro.core.namespace import (
     PermissionDenied,
 )
 from repro.core.pagepool import PagePool
-from repro.core.tokens import RO, RW, TokenClient
+from repro.core.tokens import RO, RW, ManagerMovedError, TokenClient
 from repro.obs.registry import OBS
 from repro.sim.kernel import Event, Simulation
 from repro.sim.resources import Resource
@@ -181,6 +181,12 @@ class MountedFs:
         self._flush_slots = Resource(self.sim, capacity=writebehind, name=f"{node}-flush")
         self._flushing: Dict[Tuple[int, int], Event] = {}
         self._fetching: Dict[Tuple[int, int], Event] = {}
+        # Writeback errors held for fsync: a background flush that fails
+        # (server crash, replica quorum lost) records its error here and
+        # the next fsync on the inode raises it — POSIX EIO semantics, so
+        # "fsync returned" really means "data is on stable storage".
+        self._flush_errors: Dict[int, BaseException] = {}
+        self.flush_failures = 0
         self.bytes_read = 0
         self.bytes_written = 0
         fs.mounts.append(self)
@@ -357,6 +363,22 @@ class MountedFs:
             ino, start, span_end, mode, desired=(0, WHOLE_FILE)
         )
 
+    def _token_fenced(self, handle: FileHandle, offset: int, length: int, mode: str):
+        """``yield from`` wrapper: re-issue token RPCs across takeovers.
+
+        :class:`~repro.core.tokens.TokenClient` already redirects a
+        bounded number of times; this outer loop keeps an IO alive across
+        back-to-back manager moves instead of surfacing a spurious error
+        to the application. ``yield from`` adds no events, so the armed
+        and unarmed paths are event-for-event identical.
+        """
+        while True:
+            try:
+                yield self._ensure_token(handle, offset, length, mode)
+            except ManagerMovedError:
+                continue
+            return
+
     # ==================== processes ====================
 
     def _open(self, path, mode, create):
@@ -403,7 +425,7 @@ class MountedFs:
         if length == 0:
             yield self.sim.timeout(0.0)
             return 0
-        yield self._ensure_token(handle, offset, length, RW)
+        yield from self._token_fenced(handle, offset, length, RW)
         geometry = self.fs.geometry
         for piece in geometry.split(offset, length):
             # Allocate now so ENOSPC surfaces at write() (as POSIX expects),
@@ -442,7 +464,7 @@ class MountedFs:
         if length == 0:
             yield self.sim.timeout(0.0)
             return b""
-        yield self._ensure_token(handle, offset, length, RO)
+        yield from self._token_fenced(handle, offset, length, RO)
         geometry = self.fs.geometry
         pieces = geometry.split(offset, length)
         first_block = pieces[0].block_index
@@ -731,9 +753,13 @@ class MountedFs:
                     self.pool.mark_clean(ino, block)  # rewrites re-dirty
                     items.append((phys, lo, payload))
                 if items:
-                    yield self.fs.service.write_blocks(
-                        self.node, run.nsd_id, items, tags=self.tags + ("write",)
-                    )
+                    try:
+                        yield self.fs.service.write_blocks(
+                            self.node, run.nsd_id, items, tags=self.tags + ("write",)
+                        )
+                    except OSError as exc:
+                        self.flush_failures += 1
+                        self._flush_errors.setdefault(ino, exc)
         finally:
             for block in run.blocks:
                 del self._flushing[(ino, block)]
@@ -757,7 +783,11 @@ class MountedFs:
                 else:
                     payload = hi - lo
                 self.pool.mark_clean(ino, block)  # rewrites re-dirty and re-flush
-                yield self._remote_write_event(inode, block, nsd_id, phys, lo, payload)
+                try:
+                    yield self._remote_write_event(inode, block, nsd_id, phys, lo, payload)
+                except OSError as exc:
+                    self.flush_failures += 1
+                    self._flush_errors.setdefault(ino, exc)
         finally:
             del self._flushing[key]
             done.succeed()
@@ -771,6 +801,11 @@ class MountedFs:
                 break
             yield self.sim.all_of(pending)
         yield self.sim.timeout(0.0)
+        error = self._flush_errors.pop(ino, None)
+        if error is not None:
+            # Surface the writeback failure exactly once (EIO semantics);
+            # the caller must not treat this write as durable.
+            raise error
 
     def _close(self, handle: FileHandle):
         yield self.sim.process(self._fsync(handle.inode.ino), name="close-fsync")
@@ -846,7 +881,7 @@ class MountedFs:
     def _truncate(self, handle: FileHandle, size: int):
         inode = handle.inode
         bs = self.fs.block_size
-        yield self._ensure_token(handle, 0, max(size, inode.size) + 1, RW)
+        yield from self._token_fenced(handle, 0, max(size, inode.size) + 1, RW)
         keep_blocks = (size + bs - 1) // bs
         self.fs.free_file_blocks(inode, from_block=keep_blocks)
         # drop cache beyond the new size

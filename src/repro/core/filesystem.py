@@ -51,6 +51,7 @@ class Filesystem:
         self.service = service
         self.messages = messages
         self.manager_node = manager_node
+        service.manager_nodes.add(manager_node)
         self.owner_cluster = owner_cluster
         self.store_data = store_data
         self.inodes = InodeTable()
@@ -67,6 +68,23 @@ class Filesystem:
         #: Failure group of the NSD in each stripe slot (placement input).
         self._groups = [n.failure_group for n in nsds]
         self.integrity = ReplicaManager(self)
+
+    # -- control plane -----------------------------------------------------------
+
+    def move_manager(self, node: str) -> None:
+        """Relocate the control plane after a manager takeover.
+
+        Metadata RPCs (``_meta_rtt``) and the gateway lease server follow
+        the token manager to ``node``; the old node keeps serving blocks
+        once it restarts, but the manager role never fails back.
+        """
+        old = self.manager_node
+        self.manager_node = node
+        self.service.manager_nodes.discard(old)
+        self.service.manager_nodes.add(node)
+        lease_server = getattr(self, "_gateway_lease_server", None)
+        if lease_server is not None:
+            lease_server.node = node
 
     # -- capacity ----------------------------------------------------------------
 

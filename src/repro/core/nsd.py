@@ -314,6 +314,11 @@ class NsdService:
         self.partition = None
         self.partition_parked = 0
         self._down_waiters: Dict[str, list] = {}
+        #: Nodes also hosting a filesystem/token manager (populated by
+        #: ``mmcrfs``): marking one down is a *control-plane* outage, not
+        #: just a data-path reroute, and is surfaced distinctly.
+        self.manager_nodes: set[str] = set()
+        self.manager_downs = 0
         #: Opt-in per-client served-byte attribution (``{node: bytes}``).
         #: The caching gateway turns this on so experiments can cross-check
         #: origin traffic against the gateway's own counters; off by
@@ -358,6 +363,18 @@ class NsdService:
     def mark_down(self, node: str) -> None:
         """Declare an NSD server node dead (disk lease expired)."""
         self.down_nodes.add(node)
+        if node in self.manager_nodes:
+            # Losing this node takes the token/metadata manager with it —
+            # health reports must show the control-plane outage distinctly
+            # from the (simultaneous) data-path reroute.
+            self.manager_downs += 1
+            if OBS.enabled:
+                OBS.inc("tokens.manager_down", node=node)
+            if TRACE.enabled:
+                TRACE.instant(
+                    self.sim, "tokens.manager_down", cat="fault.control",
+                    lane=f"node:{node}", node=node,
+                )
         for event in self._down_waiters.pop(node, []):
             if not event.triggered:
                 event.succeed(node)

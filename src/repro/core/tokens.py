@@ -24,6 +24,12 @@ RO = "ro"
 RW = "rw"
 
 
+class ManagerMovedError(RuntimeError):
+    """A token RPC was parked at a crashed manager whose role has since
+    moved to a successor node: the caller must re-issue the request,
+    which will target the new ``TokenManager.node``."""
+
+
 def _check_mode(mode: str) -> None:
     if mode not in (RO, RW):
         raise ValueError(f"mode must be 'ro' or 'rw', got {mode!r}")
@@ -113,9 +119,33 @@ class TokenManager:
         #: gateway's lease server hooks this to version inodes; ``None``
         #: keeps the grant path byte-for-byte the pre-hook code.
         self.on_grant = None
+        #: Optional repro.faults.NodeHealth: when set (manager failover
+        #: armed), grants park while the manager node is down and abort
+        #: with :class:`ManagerMovedError` once the role moves. ``None``
+        #: keeps the grant path byte-for-byte the pre-failover code.
+        self.health = None
+        #: Takeover epoch: bumped by :meth:`complete_takeover`. An acquire
+        #: that observes an epoch change mid-protocol raises
+        #: :class:`ManagerMovedError` so the client re-targets the RPC.
+        self.epoch = 0
+        self.in_takeover = False
+        self._takeover_waiters: List[Event] = []
+        #: Per-holder mirror of granted tokens — the client-side state a
+        #: survivor replays to a new manager at takeover. Updated at the
+        #: same commit points as ``_held`` so mirror == manager state
+        #: restricted to the holder, under every interleaving.
+        self._mirrors: Dict[str, Dict[int, List[HeldToken]]] = {}
+        self.manager_moves = 0
+        self.redirects = 0
+        #: Revokes abandoned because the holder died mid-flush (the
+        #: crash-time lock sweep: without it the per-ino lock leaks).
+        self.revokes_abandoned_dead = 0
 
     def register_client(self, node: str, handler: RevokeHandler) -> None:
         self._handlers[node] = handler
+
+    def registered_clients(self) -> List[str]:
+        return list(self._handlers)
 
     def _lock_for(self, ino: int) -> Resource:
         lock = self._ino_locks.get(ino)
@@ -170,7 +200,37 @@ class TokenManager:
             self._acquire(client, ino, start, end, mode, desired), name="token-acquire"
         )
 
+    def _manager_fence(self, epoch0: int):
+        """Park while the manager node is down or a takeover is running.
+
+        Resumes silently when the manager restarts in place; raises
+        :class:`ManagerMovedError` when the epoch advanced (a successor
+        took over), so the caller re-issues the RPC at the new node.
+        Callers gate the ``yield from`` on ``health is not None`` — with
+        failover unarmed the grant path stays event-for-event identical.
+        """
+        while True:
+            if self.epoch != epoch0:
+                raise ManagerMovedError(
+                    f"token manager moved to {self.node!r} (epoch {self.epoch})"
+                )
+            health = self.health
+            if health is None or (not self.in_takeover and health.is_up(self.node)):
+                return
+            yield self.sim.any_of(
+                [self._takeover_event(), health.wait_restart(self.node)]
+            )
+
+    def _takeover_event(self) -> Event:
+        """Event firing at the next :meth:`complete_takeover`."""
+        event = Event(self.sim)
+        self._takeover_waiters.append(event)
+        return event
+
     def _acquire(self, client, ino, start, end, mode, desired):
+        epoch0 = self.epoch
+        if self.health is not None:
+            yield from self._manager_fence(epoch0)
         # request message to the manager node
         yield self.messages.send(client, self.node, nbytes=256)
         # Quorum gate: a minority-side manager must not hand out tokens
@@ -181,6 +241,9 @@ class TokenManager:
             yield self.quorum.partition.wait_heal()
         with self._lock_for(ino).request() as req:
             yield req
+            if self.health is not None:
+                # The manager may have died while we queued on the lock.
+                yield from self._manager_fence(epoch0)
             holders = self._held.setdefault(ino, [])
             grant_start, grant_end = start, end
             if desired is not None:
@@ -204,9 +267,15 @@ class TokenManager:
             ]
             if revocations:
                 yield self.sim.all_of(revocations)
-            holders.append(
-                HeldToken(holder=client, mode=mode, start=grant_start, end=grant_end)
+                if self.health is not None:
+                    # ... or while the revocations ran. Never commit a
+                    # grant into a table a successor has since rebuilt.
+                    yield from self._manager_fence(epoch0)
+            token = HeldToken(
+                holder=client, mode=mode, start=grant_start, end=grant_end
             )
+            holders.append(token)
+            self._mirrors.setdefault(client, {}).setdefault(ino, []).append(token)
             self.grants += 1
             if self.on_grant is not None:
                 self.on_grant(client, ino, mode, grant_start, grant_end)
@@ -235,31 +304,105 @@ class TokenManager:
         handler = self._handlers.get(token.holder)
         if handler is not None:
             lo, hi = max(start, token.start), min(end, token.end)
-            yield self.sim.process(handler(ino, lo, hi), name="revoke-flush")
+            flush = self.sim.process(handler(ino, lo, hi), name="revoke-flush")
+            if det is not None and det.watches(token.holder):
+                # Crash-time lock sweep: the holder can die *after* the
+                # entry check above, wedging its flush forever (parked
+                # RPCs to a dead server, a severed partition) while the
+                # caller holds the per-ino lock. Race the flush against
+                # the holder's death declaration and reclaim outright if
+                # the corpse wins — the lock drains instead of leaking.
+                yield self.sim.any_of([flush, det.declared_dead(token.holder)])
+                if not flush.triggered:
+                    self.revokes_abandoned_dead += 1
+                    self.dead_holder_releases += 1
+                    self._shrink(ino, token, start, end)
+                    return
+            else:
+                yield flush
         # release message holder → manager
         yield self.messages.send(token.holder, self.node, nbytes=256)
         self._shrink(ino, token, start, end)
 
     def _shrink(self, ino: int, token: HeldToken, start: int, end: int) -> None:
         """Remove ``[start, end)`` from ``token``, splitting if needed."""
+        if self.in_takeover:
+            # State is frozen between the ghost snapshot and the replay
+            # rebuild; the acquire driving this shrink will observe the
+            # epoch change and re-issue against the rebuilt table.
+            return
         holders = self._held.get(ino, [])
         if token not in holders:
             return
         holders.remove(token)
+        pieces = []
         if token.start < start:
-            holders.append(HeldToken(token.holder, token.mode, token.start, start))
+            pieces.append(HeldToken(token.holder, token.mode, token.start, start))
         if end < token.end:
-            holders.append(HeldToken(token.holder, token.mode, end, token.end))
+            pieces.append(HeldToken(token.holder, token.mode, end, token.end))
+        holders.extend(pieces)
+        mirrored = self._mirrors.get(token.holder, {}).get(ino)
+        if mirrored is not None and token in mirrored:
+            mirrored.remove(token)
+            mirrored.extend(pieces)
 
     def release_all(self, client: str, ino: Optional[int] = None) -> None:
         """Drop every token ``client`` holds (on one ino, or everywhere)."""
         inos = [ino] if ino is not None else list(self._held)
+        mirror = self._mirrors.get(client)
         for i in inos:
             self._held[i] = [t for t in self._held.get(i, []) if t.holder != client]
+            if mirror is not None:
+                mirror.pop(i, None)
+
+    # -- manager failover ------------------------------------------------------
+
+    def begin_takeover(self) -> None:
+        """Freeze the token table while a successor rebuilds it: new
+        grants park at the fence, shrinks no-op, and every in-flight
+        acquire aborts at the next fence once the epoch advances."""
+        if self.in_takeover:
+            raise RuntimeError("takeover already in progress")
+        self.in_takeover = True
+
+    def rebuild_from_replay(self, live_clients: List[str]) -> Dict[int, List[HeldToken]]:
+        """Reconstruct ``_held`` from surviving clients' replayed state.
+
+        Each live client reports the token ranges it believes it holds
+        (its mirror); the union — deterministically ordered — becomes the
+        new table. Tokens of clients that cannot reply are dropped.
+        """
+        if not self.in_takeover:
+            raise RuntimeError("rebuild outside a takeover")
+        held: Dict[int, List[HeldToken]] = {}
+        for client in sorted(live_clients):
+            for ino in sorted(self._mirrors.get(client, {})):
+                tokens = self._mirrors[client][ino]
+                if tokens:
+                    held.setdefault(ino, []).extend(tokens)
+        self._held = held
+        return held
+
+    def complete_takeover(self, node: str) -> None:
+        """Move the manager role to ``node`` and release parked work."""
+        if not self.in_takeover:
+            raise RuntimeError("no takeover in progress")
+        self.node = node
+        self.in_takeover = False
+        self.epoch += 1
+        self.manager_moves += 1
+        waiters, self._takeover_waiters = self._takeover_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(node)
 
 
 class TokenClient:
     """Client-side token cache for one mount."""
+
+    #: Redirect attempts before giving up; each retry needs a fresh
+    #: takeover epoch, so this bounds pathological churn, not latency.
+    MAX_REDIRECTS = 8
 
     def __init__(self, manager: TokenManager, node: str, handler: RevokeHandler) -> None:
         self.manager = manager
@@ -268,6 +411,7 @@ class TokenClient:
         self._user_handler = handler
         self.acquisitions = 0
         self.cache_hits = 0
+        self.redirects = 0
 
     def _on_revoke(self, ino: int, start: int, end: int):
         yield from self._user_handler(ino, start, end)
@@ -296,7 +440,34 @@ class TokenClient:
             evt.succeed(True)
             return evt
         self.acquisitions += 1
-        return self.manager.acquire(self.node, ino, start, end, mode, desired=desired)
+        if self.manager.health is None:
+            # Failover unarmed: the direct path, zero added event hops.
+            return self.manager.acquire(
+                self.node, ino, start, end, mode, desired=desired
+            )
+        return self.manager.sim.process(
+            self._acquire_redirect(ino, start, end, mode, desired),
+            name="token-ensure",
+        )
+
+    def _acquire_redirect(self, ino, start, end, mode, desired):
+        """Retry-aware acquire: a grant RPC parked at a crashed manager
+        fails with :class:`ManagerMovedError` at takeover; re-issuing it
+        targets the successor (``manager.node`` is read per attempt)."""
+        for _ in range(self.MAX_REDIRECTS):
+            try:
+                result = yield self.manager.acquire(
+                    self.node, ino, start, end, mode, desired=desired
+                )
+            except ManagerMovedError:
+                self.redirects += 1
+                self.manager.redirects += 1
+                continue
+            return result
+        raise ManagerMovedError(
+            f"token acquire from {self.node!r} redirected "
+            f"{self.MAX_REDIRECTS} times without landing"
+        )
 
     def release_all(self, ino: Optional[int] = None) -> None:
         self.manager.release_all(self.node, ino)

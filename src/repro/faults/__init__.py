@@ -30,12 +30,15 @@ exercises the full loop end to end.
 """
 
 from repro.core.nsd import ChecksumError, NsdServerDown, RpcRetriesExhausted
+from repro.core.tokens import ManagerMovedError
 from repro.faults.detector import DiskLeaseDetector
+from repro.faults.fuzz import FuzzReport, InvariantOracle, random_schedule, run_fuzz
 from repro.faults.harness import FaultHarness, attach_faults
 from repro.faults.health import NodeHealth
 from repro.faults.injector import FaultInjector
 from repro.faults.partition import PartitionState
 from repro.faults.quorum import QuorumService
+from repro.faults.recovery import RecoveryManager
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultAction, FaultSchedule
 
@@ -46,11 +49,17 @@ __all__ = [
     "FaultHarness",
     "FaultInjector",
     "FaultSchedule",
+    "FuzzReport",
+    "InvariantOracle",
+    "ManagerMovedError",
     "NodeHealth",
     "NsdServerDown",
     "PartitionState",
     "QuorumService",
+    "RecoveryManager",
     "RetryPolicy",
     "RpcRetriesExhausted",
     "attach_faults",
+    "random_schedule",
+    "run_fuzz",
 ]

@@ -68,6 +68,13 @@ class DiskLeaseDetector:
         self.quorum = None
         self.quorum_suppressed_checks = 0
         self._had_quorum = True
+        #: Armed by the recovery manager: while the manager node itself
+        #: is down, renewals land on a corpse, so expiries prove nothing
+        #: about the rest of the fleet — declare only the manager (its
+        #: silence is exactly the signal takeover waits on).
+        self.watch_manager = False
+        self.manager_suppressed_checks = 0
+        self._manager_was_up = True
         self.detected_down: set[str] = set()
         self._expiry: Dict[str, float] = {}
         self._death_waiters: Dict[str, List[Event]] = {}
@@ -136,6 +143,32 @@ class DiskLeaseDetector:
             while True:
                 yield self.sim.timeout(self.check_interval)
                 now = self.sim.now
+                if self.watch_manager and not self.health.is_up(self.manager_node):
+                    # Control-plane outage: every renewal is landing on a
+                    # corpse. The only meaningful expiry is the manager's
+                    # own — declaring it triggers data-path failover and
+                    # wakes the recovery manager's election.
+                    self.manager_suppressed_checks += 1
+                    self._manager_was_up = False
+                    if (
+                        self.manager_node in self._expiry
+                        and self.manager_node not in self.detected_down
+                        and now >= self._expiry[self.manager_node]
+                    ):
+                        self._declare_dead(self.manager_node)
+                    continue
+                if self.watch_manager and not self._manager_was_up:
+                    # Manager back (in-place restart, or takeover re-armed
+                    # us at a successor): expiries accumulated during the
+                    # outage are meaningless — grant live nodes a fresh
+                    # lease, mirroring the quorum-regain path below.
+                    self._manager_was_up = True
+                    for node in self.nodes:
+                        if self.health.is_up(node):
+                            self._expiry[node] = max(
+                                self._expiry[node], now + self.lease_duration
+                            )
+                    continue
                 if self.quorum is not None and not self.quorum.has_quorum(
                     self.manager_node
                 ):
@@ -198,6 +231,23 @@ class DiskLeaseDetector:
                 lane=f"node:{node}", node=node,
             )
 
+    def rearm(self, manager_node: str) -> None:
+        """Re-point detection at a successor manager after takeover.
+
+        Heartbeats follow ``manager_node`` on their next renewal; live
+        nodes get a fresh lease (their renewals during the outage reached
+        a corpse, so their expiries are meaningless); dead nodes keep
+        their expired leases and are declared on the next sweep.
+        """
+        self.manager_node = manager_node
+        self._manager_was_up = True
+        now = self.sim.now
+        for node in self.nodes:
+            if self.health.is_up(node):
+                self._expiry[node] = max(
+                    self._expiry[node], now + self.lease_duration
+                )
+
     # -- queries -------------------------------------------------------------
 
     def watches(self, node: str) -> bool:
@@ -245,4 +295,6 @@ class DiskLeaseDetector:
             out["mttr_max"] = max(mttr)
         if self.quorum is not None:
             out["quorum_suppressed_checks"] = float(self.quorum_suppressed_checks)
+        if self.watch_manager:
+            out["manager_suppressed_checks"] = float(self.manager_suppressed_checks)
         return out

@@ -31,6 +31,7 @@ from repro.faults.health import NodeHealth
 from repro.faults.injector import FaultInjector
 from repro.faults.partition import PartitionState
 from repro.faults.quorum import QuorumService
+from repro.faults.recovery import RecoveryManager
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.sim.kernel import Event, Simulation
@@ -57,6 +58,9 @@ class FaultHarness:
         arrays: Dict[str, object] | None = None,
         watch_nodes: Iterable[str] = (),
         gateways: Iterable = (),
+        filesystem=None,
+        recovery: Optional[bool] = None,
+        election_sweep: float = 0.25,
     ) -> None:
         self.sim = sim
         self.service = service
@@ -101,6 +105,34 @@ class FaultHarness:
         self._retry_rng = retry_rng
         self._retry_rng_streams = retry_rng_streams
         self.token_managers = list(token_managers)
+        # Manager failover arms automatically when the schedule kills a
+        # manager (or explicitly via recovery=True); unarmed runs carry
+        # zero recovery state, so existing metrics stay bit-identical.
+        wants_recovery = (
+            recovery
+            if recovery is not None
+            else any(a.kind == "crash_manager" for a in self.schedule)
+        )
+        self.recovery: Optional[RecoveryManager] = None
+        if wants_recovery:
+            if filesystem is None:
+                raise ValueError(
+                    "manager failover (crash_manager / recovery=True) needs "
+                    "the filesystem= argument"
+                )
+            quorum = self.quorum
+            if quorum is None:
+                quorum = QuorumService(service, self.partition)
+            self.recovery = RecoveryManager(
+                sim,
+                filesystem,
+                self.detector,
+                self.health,
+                quorum,
+                election_sweep=election_sweep,
+            )
+            if filesystem.token_manager not in self.token_managers:
+                self.token_managers.append(filesystem.token_manager)
         #: Caching gateways (repro.cache.CacheGateway) riding this
         #: filesystem: a partition schedule wires them for heal-replay.
         self.gateways = list(gateways)
@@ -129,6 +161,10 @@ class FaultHarness:
             tm.failure_detector = self.detector
             if self.quorum is not None:
                 tm.quorum = self.quorum
+        if self.recovery is not None:
+            self.recovery.tm.health = self.health
+            self.detector.watch_manager = True
+            self.recovery.start()
         self.detector.start()
         self.injector.start()
         from repro.obs.registry import OBS
@@ -143,6 +179,8 @@ class FaultHarness:
         """Tear down the background processes (end of measurement)."""
         self.detector.stop()
         self.injector.stop()
+        if self.recovery is not None:
+            self.recovery.stop()
 
     # -- conveniences --------------------------------------------------------
 
@@ -177,6 +215,11 @@ class FaultHarness:
             out["quorum_parked_grants"] = float(
                 sum(getattr(tm, "quorum_parked_grants", 0) for tm in self.token_managers)
             )
+        # Recovery metrics only when manager failover is armed, so every
+        # pre-existing chaos run keeps an identical key set.
+        if self.recovery is not None:
+            out.update(self.recovery.metrics())
+            out["manager_downs"] = float(self.service.manager_downs)
         # Gateway replay/conflict metrics only when gateways ride along,
         # so gateway-free chaos runs keep an identical key set.
         if self.gateways:

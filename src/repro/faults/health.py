@@ -10,7 +10,7 @@ detection latency E13 measures.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.sim.kernel import Event, Simulation
 
@@ -22,6 +22,10 @@ class NodeHealth:
         self.sim = sim
         self._down: Dict[str, float] = {}  # node -> crash sim-time
         self._restart_waiters: Dict[str, List[Event]] = {}
+        #: Ground-truth transition log ``(sim time, "crash"|"restore",
+        #: node)`` — the fuzz oracle replays this post-hoc to validate
+        #: every detector declaration against what actually happened.
+        self.transitions: List[Tuple[float, str, str]] = []
 
     def is_up(self, node: str) -> bool:
         return node not in self._down
@@ -34,14 +38,36 @@ class NodeHealth:
         if node in self._down:
             raise RuntimeError(f"node {node!r} is already down")
         self._down[node] = self.sim.now
+        self.transitions.append((self.sim.now, "crash", node))
 
     def restore(self, node: str) -> None:
         if node not in self._down:
             raise RuntimeError(f"node {node!r} is not down")
         del self._down[node]
+        self.transitions.append((self.sim.now, "restore", node))
         for event in self._restart_waiters.pop(node, []):
             if not event.triggered:
                 event.succeed(node)
+
+    def down_intervals(self, node: str) -> List[Tuple[float, float]]:
+        """Closed intervals during which ``node`` was down (end is +inf
+        for a crash with no restore yet)."""
+        out: List[Tuple[float, float]] = []
+        start: float | None = None
+        for t, kind, n in self.transitions:
+            if n != node:
+                continue
+            if kind == "crash":
+                start = t
+            elif start is not None:
+                out.append((start, t))
+                start = None
+        if start is not None:
+            out.append((start, float("inf")))
+        return out
+
+    def was_down(self, node: str, t: float) -> bool:
+        return any(a <= t <= b for a, b in self.down_intervals(node))
 
     def wait_restart(self, node: str) -> Event:
         """Event that fires when ``node`` next comes back up.

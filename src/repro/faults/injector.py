@@ -94,7 +94,7 @@ class FaultInjector:
         """Fail at start(), not mid-run, when a target cannot resolve."""
         for action in self.schedule:
             kind = action.kind
-            if kind in ("node_crash", "node_restart"):
+            if kind in ("node_crash", "node_restart", "crash_manager"):
                 if self.health is None:
                     raise ValueError(f"{kind} requires a NodeHealth")
             elif kind in ("link_down", "link_brownout", "link_restore"):
@@ -156,6 +156,11 @@ class FaultInjector:
 
     def _do_node_restart(self, action: FaultAction) -> None:
         self.health.restore(action.target)
+
+    def _do_crash_manager(self, action: FaultAction) -> None:
+        # Same ground-truth flip as node_crash; recovery is driven by the
+        # lease detector + RecoveryManager, never by the injector.
+        self.health.crash(action.target)
 
     # -- link faults ---------------------------------------------------------
 

@@ -23,6 +23,7 @@ KINDS = frozenset(
     {
         "node_crash",
         "node_restart",
+        "crash_manager",
         "link_down",
         "link_brownout",
         "link_restore",
@@ -100,6 +101,17 @@ class FaultSchedule:
     def restart_node(self, at: float, node: str) -> "FaultSchedule":
         """Bring a crashed ``node`` back; its next lease renewal marks it up."""
         return self.add(FaultAction(at, "node_restart", node))
+
+    def crash_manager(self, at: float, node: str) -> "FaultSchedule":
+        """Kill the filesystem/token manager ``node`` at ``at``.
+
+        Ground-truth effect is identical to :meth:`crash_node`; the
+        distinct kind records *intent* (a control-plane fault), arms the
+        harness's recovery manager, and lets traces and the fuzzer tell
+        manager takeovers apart from ordinary NSD failovers. Restart with
+        :meth:`restart_node` — the token-manager role does not fail back.
+        """
+        return self.add(FaultAction(at, "crash_manager", node))
 
     def flap_link(self, at: float, link: str, down_for: float) -> "FaultSchedule":
         """Take ``link`` administratively down for ``down_for`` seconds."""

@@ -44,6 +44,11 @@ GATEWAY_DIRTY = "gateway.dirty_queue"
 POOL_HITS = "client.pagepool.hits"
 POOL_MISSES = "client.pagepool.misses"
 POOL_EVICTIONS = "client.pagepool.evictions"
+MANAGER_DOWN = "tokens.manager_down"
+TAKEOVER_LATENCY = "tokens.takeover_latency"
+TAKEOVER_MTTR = "tokens.takeover_mttr"
+DETECTION_LATENCY = "faults.detection_latency"
+FAULT_MTTR = "faults.mttr"
 
 
 def load_experiment(metrics_dir: str, exp_id: str) -> dict:
@@ -189,6 +194,47 @@ def pagepool_rollup(rows: List[dict]) -> List[dict]:
             **d,
             "hit_ratio": d["hits"] / total if total else 0.0,
         })
+    return out
+
+
+def control_plane_rollup(rows: List[dict]) -> List[dict]:
+    """Fault/failover posture from the final scrape.
+
+    One row per signal: control-plane outages (``tokens.manager_down``),
+    manager takeover latency and MTTR, and data-plane detection latency
+    and node MTTR — present only for runs that armed the fault subsystem,
+    so nominal experiments render no section at all.
+    """
+    last = _last_row(rows)
+    if last is None:
+        return []
+    out: List[dict] = []
+    downs = sum(
+        v
+        for key, v in last.get("counters", {}).items()
+        if parse_key(key)[0] == MANAGER_DOWN
+    )
+    if downs:
+        out.append({"signal": "manager outages", "count": int(downs),
+                    "mean": None, "max": None})
+    for family, label in (
+        (TAKEOVER_LATENCY, "manager takeover latency"),
+        (TAKEOVER_MTTR, "manager takeover MTTR"),
+        (DETECTION_LATENCY, "crash detection latency"),
+        (FAULT_MTTR, "node MTTR"),
+    ):
+        for key in sorted(last.get("histograms", {})):
+            if parse_key(key)[0] != family:
+                continue
+            h = Histogram.from_dict(last["histograms"][key])
+            if h.count == 0:
+                continue
+            out.append({
+                "signal": label,
+                "count": h.count,
+                "mean": h.sum / h.count,
+                "max": h.max,
+            })
     return out
 
 
@@ -339,6 +385,20 @@ def render_experiment(exp: dict) -> List[str]:
                 [p["client"], f"{p['hits']:.0f}", f"{p['misses']:.0f}",
                  f"{p['evictions']:.0f}", _fmt_pct(p["hit_ratio"])]
                 for p in pools
+            ],
+        )
+
+    control = control_plane_rollup(rows)
+    if control:
+        lines.append("")
+        lines.append("  Control plane / failures:")
+        lines += _table(
+            ["signal", "events", "mean", "max"],
+            [
+                [c["signal"], str(c["count"]),
+                 "-" if c["mean"] is None else f"{c['mean'] * 1e3:.1f} ms",
+                 "-" if c["max"] is None else f"{c['max'] * 1e3:.1f} ms"]
+                for c in control
             ],
         )
 

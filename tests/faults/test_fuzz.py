@@ -1,0 +1,219 @@
+"""Fuzzer tests: schedule legality, determinism, oracle sensitivity."""
+
+import random
+from types import SimpleNamespace
+
+from repro.core.tokens import RW, HeldToken
+from repro.faults.fuzz import (
+    InvariantOracle,
+    random_schedule,
+    run_fuzz,
+    run_fuzz_case,
+)
+from repro.sim import Simulation
+
+SERVERS = [f"nsd{i}" for i in range(5)]
+LINKS = [f"{n}<->sw" for n in SERVERS[1:]]
+NSDS = [f"fuzz-nsd{i}" for i in range(5)]
+MANAGER = SERVERS[0]
+
+
+def _generate(seed, t0=2.0, duration=8.0):
+    return random_schedule(
+        random.Random(seed),
+        server_nodes=SERVERS,
+        manager_node=MANAGER,
+        t0=t0,
+        duration=duration,
+        links=LINKS,
+        nsds=NSDS,
+    )
+
+
+def _paired_windows(actions, start_kinds, end_kind):
+    """Pair start/end actions by target into (start, end) windows."""
+    open_at = {}
+    windows = []
+    for a in actions:
+        if a.kind in start_kinds:
+            assert a.target not in open_at, f"{a.target} already open"
+            open_at[a.target] = a.at
+        elif a.kind == end_kind and a.target in open_at:
+            windows.append((open_at.pop(a.target), a.at))
+    assert not open_at, f"unclosed windows: {open_at}"
+    return windows
+
+
+def _assert_disjoint(windows):
+    for i, (s1, e1) in enumerate(windows):
+        for s2, e2 in windows[i + 1:]:
+            assert e1 <= s2 or e2 <= s1, (windows[i], (s2, e2))
+
+
+class TestRandomScheduleLegality:
+    def test_many_seeds_respect_constraints(self):
+        t0, duration = 2.0, 8.0
+        hi = t0 + 0.85 * duration
+        for seed in range(60):
+            schedule = _generate(seed, t0, duration)
+            acts = schedule.ordered()
+            assert all(t0 <= a.at <= t0 + duration for a in acts)
+
+            # The manager dies only via crash_manager, at most once.
+            assert not any(
+                a.kind == "node_crash" and a.target == MANAGER for a in acts
+            )
+            assert sum(1 for a in acts if a.kind == "crash_manager") <= 1
+
+            # Every crash is restored before the storm's tail, and no two
+            # crash windows (manager included) ever overlap.
+            crash_windows = _paired_windows(
+                acts, ("node_crash", "crash_manager"), "node_restart"
+            )
+            assert all(end <= hi + 1e-9 for _, end in crash_windows)
+            _assert_disjoint(crash_windows)
+
+            # One partition at a time; strict minorities; never the manager.
+            partitions = _paired_windows(acts, ("partition",), "partition_heal")
+            _assert_disjoint(partitions)
+            for a in acts:
+                if a.kind != "partition":
+                    continue
+                minority = a.target.split(",")
+                assert MANAGER not in minority
+                assert len(minority) <= (len(SERVERS) - 1) // 2
+
+            # Loss bursts never overlap (one saved TCP model).
+            _assert_disjoint(
+                _paired_windows(acts, ("loss_burst",), "loss_clear")
+            )
+
+            # Each link is flapped or browned out at most once.
+            touched = [
+                a.target
+                for a in acts
+                if a.kind in ("link_down", "link_brownout")
+            ]
+            assert len(touched) == len(set(touched))
+            assert set(touched) <= set(LINKS)
+
+            # Corruption only lands on NSDs known to hold written blocks.
+            assert {
+                a.target for a in acts if a.kind == "corrupt_block"
+            } <= set(NSDS)
+
+    def test_fault_mix_has_coverage_across_seeds(self):
+        kinds = set()
+        for seed in range(60):
+            kinds |= {a.kind for a in _generate(seed)}
+        assert {
+            "node_crash", "crash_manager", "partition",
+            "loss_burst", "corrupt_block",
+        } <= kinds
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert _generate(7).to_dicts() == _generate(7).to_dicts()
+
+    def test_different_seeds_differ(self):
+        dicts = {repr(_generate(seed).to_dicts()) for seed in range(10)}
+        assert len(dicts) > 1
+
+    def test_same_seed_same_storm(self):
+        kw = dict(duration=2.5, servers=4, clients=2, settle=3.0)
+        a = run_fuzz_case(11, **kw)
+        b = run_fuzz_case(11, **kw)
+        assert a.to_dict() == b.to_dict()  # bit-identical, not approx
+
+
+class TestFuzzSmoke:
+    def test_short_storms_pass(self):
+        reports = run_fuzz(
+            seeds=(0, 1), duration=2.5, servers=4, clients=2, settle=3.0
+        )
+        assert all(r.passed for r in reports), [r.violations for r in reports]
+        assert all(r.ops > 0 and r.reads_ok > 0 for r in reports)
+        assert all(r.conflict_sweeps > 0 for r in reports)
+
+
+class TestOracleSensitivity:
+    """A fuzzer is only as good as its oracles: each must actually fire."""
+
+    def _oracle(self, **kw):
+        sim = Simulation()
+        fs = SimpleNamespace(token_manager=SimpleNamespace(_held={}))
+        health = SimpleNamespace(down_intervals=lambda node: [])
+        return InvariantOracle(sim, fs, health, **kw)
+
+    def test_planted_conflict_is_flagged(self):
+        oracle = self._oracle()
+        oracle.fs.token_manager._held[1] = [
+            HeldToken("c0", RW, 0, 100),
+            HeldToken("c1", RW, 50, 150),
+        ]
+        oracle.check_token_conflicts()
+        assert [v.kind for v in oracle.violations] == ["conflicting_tokens"]
+
+    def test_clean_table_is_silent(self):
+        oracle = self._oracle()
+        oracle.fs.token_manager._held[1] = [
+            HeldToken("c0", RW, 0, 100),
+            HeldToken("c1", RW, 100, 200),
+        ]
+        oracle.check_token_conflicts()
+        assert oracle.violations == []
+
+    def test_checksum_error_needs_injected_rot(self):
+        surprised = self._oracle(corruption_expected=False)
+        surprised.record_checksum_error("nsd1: blk 7")
+        assert [v.kind for v in surprised.violations] == [
+            "unexpected_checksum_error"
+        ]
+        expecting = self._oracle(corruption_expected=True)
+        expecting.record_checksum_error("nsd1: blk 7")
+        assert expecting.violations == []
+
+    def test_unbacked_declaration_is_flagged(self):
+        oracle = self._oracle()
+        oracle.detector = SimpleNamespace(
+            lease_duration=1.0, check_interval=0.1,
+            detections=[("nsd2", 5.0)],
+        )
+        oracle.check_detections()
+        assert [v.kind for v in oracle.violations] == ["bogus_declaration"]
+
+    def test_crash_backed_declaration_is_accepted(self):
+        oracle = self._oracle()
+        oracle.detector = SimpleNamespace(
+            lease_duration=1.0, check_interval=0.1,
+            detections=[("nsd2", 5.0)],
+        )
+        oracle.health = SimpleNamespace(
+            down_intervals=lambda node: [(4.2, 6.0)]
+        )
+        oracle.check_detections()
+        assert oracle.violations == []
+
+    def test_link_down_backed_declaration_is_accepted(self):
+        # A downed access link means renewals physically could not flow:
+        # the resulting lease expiry is a valid declaration.
+        oracle = self._oracle(link_downs={"nsd2": [(4.0, 4.6)]})
+        oracle.detector = SimpleNamespace(
+            lease_duration=1.0, check_interval=0.1,
+            detections=[("nsd2", 5.0)],
+        )
+        oracle.check_detections()
+        assert oracle.violations == []
+
+    def test_partition_backed_declaration_is_accepted(self):
+        oracle = self._oracle()
+        oracle.detector = SimpleNamespace(
+            lease_duration=1.0, check_interval=0.1,
+            detections=[("nsd2", 5.0)],
+        )
+        oracle.partition = SimpleNamespace(
+            history=[(4.0, 5.5, {"nsd2"})], active=False,
+        )
+        oracle.check_detections()
+        assert oracle.violations == []

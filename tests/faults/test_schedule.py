@@ -77,6 +77,21 @@ class TestFaultSchedule:
         )
         assert [a.target for a in s.ordered()] == ["early", "early2", "late"]
 
+    def test_crash_manager_builder(self):
+        s = (
+            FaultSchedule()
+            .crash_manager(1.0, "nsd00")
+            .restart_node(5.0, "nsd00")
+        )
+        assert [a.kind for a in s.ordered()] == [
+            "crash_manager", "node_restart",
+        ]
+        again = FaultSchedule.from_dicts(s.to_dicts())
+        assert [a.kind for a in again.ordered()] == [
+            "crash_manager", "node_restart",
+        ]
+        assert again.ordered()[0].target == "nsd00"
+
     def test_dict_round_trip(self):
         s = (
             FaultSchedule()

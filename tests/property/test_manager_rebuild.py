@@ -1,0 +1,99 @@
+"""Property test: replay rebuild == pre-crash token table minus the dead.
+
+Hypothesis drives random acquire sequences against one TokenManager, then
+simulates a manager takeover with one client unable to reply. The table
+rebuilt from the survivors' replayed mirrors must equal the pre-crash
+ghost with exactly the dead client's tokens dropped — nothing else lost,
+nothing invented, and still conflict-free.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.tokens import RO, RW, TokenManager
+from repro.faults.recovery import _table_keys
+from repro.net.message import MessageService
+from repro.net.topology import Network
+from repro.sim import Simulation
+from repro.util.units import Gbps
+
+CLIENTS = ["c0", "c1", "c2"]
+
+
+def noop_handler(ino, lo, hi):
+    yield from ()
+
+
+def build_manager():
+    sim = Simulation()
+    net = Network()
+    net.add_node("sw", kind="switch")
+    for n in ["mgr", "mgr2"] + CLIENTS:
+        net.add_host(n, "sw", Gbps(1), nic_delay=0.001)
+    tm = TokenManager(sim, MessageService(sim, net), "mgr")
+    for c in CLIENTS:
+        tm.register_client(c, noop_handler)
+    return sim, tm
+
+
+acquire_op = st.tuples(
+    st.sampled_from(CLIENTS),
+    st.integers(1, 3),  # ino
+    st.integers(0, 500),  # start
+    st.integers(1, 200),  # length
+    st.sampled_from([RO, RW]),
+)
+
+
+def _drive(ops):
+    sim, tm = build_manager()
+    for client, ino, start, length, mode in ops:
+        sim.run(until=tm.acquire(client, ino, start, start + length, mode))
+    return sim, tm
+
+
+def _take_over(tm, crashed):
+    ghost = _table_keys(tm._held)
+    tm.begin_takeover()
+    rebuilt = tm.rebuild_from_replay([c for c in CLIENTS if c != crashed])
+    tm.complete_takeover("mgr2")
+    return ghost, rebuilt
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(acquire_op, min_size=1, max_size=12),
+       crashed=st.sampled_from(CLIENTS))
+def test_rebuild_equals_ghost_minus_dead_holder(ops, crashed):
+    sim, tm = _drive(ops)
+    ghost, rebuilt = _take_over(tm, crashed)
+    expected = {}
+    for ino, keys in ghost.items():
+        kept = {k for k in keys if k[0] != crashed}
+        if kept:
+            expected[ino] = kept
+    assert _table_keys(rebuilt) == expected
+    # The rebuilt table is what the manager now serves from.
+    assert _table_keys(tm._held) == expected
+    assert tm.node == "mgr2"
+    assert tm.epoch == 1
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(acquire_op, min_size=1, max_size=12),
+       crashed=st.sampled_from(CLIENTS))
+def test_rebuilt_table_is_conflict_free_and_grants_again(ops, crashed):
+    sim, tm = _drive(ops)
+    _ghost, rebuilt = _take_over(tm, crashed)
+    for tokens in rebuilt.values():
+        for i, a in enumerate(tokens):
+            for b in tokens[i + 1:]:
+                assert not a.conflicts_with(b.holder, b.mode, b.start, b.end)
+    # The successor resumes granting against the rebuilt table.
+    survivor = next(c for c in CLIENTS if c != crashed)
+    sim.run(until=tm.acquire(survivor, 1, 0, 64, RW))
+    held = tm.holders(1)
+    for i, a in enumerate(held):
+        for b in held[i + 1:]:
+            assert not a.conflicts_with(b.holder, b.mode, b.start, b.end)
