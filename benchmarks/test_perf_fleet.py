@@ -1,0 +1,107 @@
+"""Fleet-scale solver benches (route-class aggregation harness).
+
+These measure the E17 scenario directly: thousands of logical clients
+funneled through 16 shared I/O hosts reading from 8 NSD servers across
+the TeraGrid backbone, with staggered starts so every join/leave
+re-solves the shared component. The point under test is the route-class
+aggregation in :mod:`repro.net.flow` — solver work should scale with the
+number of distinct (route, cap) classes (bounded by the mesh), not with
+the number of member flows.
+
+Each bench appends its numbers to ``BENCH_fleet.json`` in the repo root
+so successive PRs accumulate a perf trajectory; CI gates >30% ops/s
+regressions against the committed baseline. Run with::
+
+    pytest benchmarks/test_perf_fleet.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.e17_fleet import run_fleet_cell
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def _record(name: str, entry: dict) -> None:
+    data = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[name] = entry
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_fleet_1024_agg(benchmark, capsys):
+    """Aggregated engine at 1024 clients (2048 concurrent flows)."""
+    stats = benchmark.pedantic(
+        run_fleet_cell, args=(1024,), kwargs={"rounds": 3},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    ops = stats["clients"] * 3 * 2
+    _record("fleet_1024_agg", {
+        "ops_per_s": round(ops / stats["wall_s"], 2),
+        "elapsed_s": round(stats["wall_s"], 3),
+        "transfers": int(ops),
+        "flows_peak": int(stats["flows_peak"]),
+        "solver_cols_peak": int(stats["solver_cols_peak"]),
+        "solved_rows": int(stats["solved_rows"]),
+        "kernel_events": int(stats["kernel_events"]),
+    })
+    with capsys.disabled():
+        print()
+        print(
+            f"fleet_1024_agg: {ops / stats['wall_s']:.0f} transfers/s wall "
+            f"({stats['wall_s']:.2f}s, {stats['flows_peak']:.0f} flows over "
+            f"{stats['solver_cols_peak']:.0f} solver cols)"
+        )
+    # Class space is bounded by the 16x8 host-server mesh, never the fleet.
+    assert stats["solver_cols_peak"] <= 128
+    assert stats["flows_peak"] / stats["solver_cols_peak"] >= 10
+
+
+def test_fleet_512_compare(benchmark, capsys):
+    """Aggregated vs aggregate=False at 512 clients: fast AND exact."""
+
+    def both():
+        agg = run_fleet_cell(512, rounds=3)
+        unagg = run_fleet_cell(512, rounds=3, aggregate=False)
+        return agg, unagg
+
+    agg, unagg = benchmark.pedantic(
+        both, rounds=1, iterations=1, warmup_rounds=0
+    )
+    speedup = unagg["wall_s"] / agg["wall_s"]
+    reduction = unagg["solver_cols_peak"] / agg["solver_cols_peak"]
+    exact = (
+        agg["_series"] == unagg["_series"]
+        and agg["_finishes"] == unagg["_finishes"]
+        and agg["bytes_moved"] == unagg["bytes_moved"]
+        and agg["rate_changes"] == unagg["rate_changes"]
+    )
+    ops = agg["clients"] * 3 * 2
+    _record("fleet_512_compare", {
+        "agg_ops_per_s": round(ops / agg["wall_s"], 2),
+        "unagg_ops_per_s": round(ops / unagg["wall_s"], 2),
+        "ops_per_s": round(ops / agg["wall_s"], 2),
+        "speedup": round(speedup, 2),
+        "column_reduction": round(reduction, 2),
+        "bit_identical": exact,
+    })
+    with capsys.disabled():
+        print()
+        print(
+            f"fleet_512_compare: {speedup:.1f}x faster than aggregate=False "
+            f"({agg['wall_s']:.2f}s vs {unagg['wall_s']:.2f}s), "
+            f"{reduction:.0f}x fewer solver columns, "
+            f"bit-identical={exact}"
+        )
+    assert exact, "aggregated engine diverged from per-flow engine"
+    assert reduction >= 10
+    # The speedup grows with scale (~9x at 1024 in E17); 3x is a loose
+    # floor for noisy CI runners at this smaller bench scale.
+    assert speedup >= 3.0

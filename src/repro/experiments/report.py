@@ -50,6 +50,7 @@ def _registry(quick: bool) -> Dict[str, Tuple[str, Callable[[], ExperimentResult
     from repro.experiments.e14_integrity import run_e14, run_e14_quick
     from repro.experiments.e15_gateway import run_e15, run_e15_quick
     from repro.experiments.e16_failover import run_e16, run_e16_quick
+    from repro.experiments.e17_fleet import run_e17, run_e17_quick
     from repro.experiments.e5_anl_remote import run_e5_anl
     from repro.experiments.e6_deisa import run_e6_deisa
     from repro.experiments.e7_staging_vs_gfs import run_e7
@@ -93,6 +94,7 @@ def _registry(quick: bool) -> Dict[str, Tuple[str, Callable[[], ExperimentResult
             "E14": ("integrity soak", run_e14_quick),
             "E15": ("caching gateway", run_e15_quick),
             "E16": ("manager failover", run_e16_quick),
+            "E17": ("fleet scale", run_e17_quick),
             "A1": ("block size", lambda: run_a1_blocksize(
                 block_sizes=(KiB(256), MiB(1), MiB(4)), read_bytes=MB(96))),
             "A2": ("server scaling", lambda: run_a2_server_scaling(
@@ -120,6 +122,7 @@ def _registry(quick: bool) -> Dict[str, Tuple[str, Callable[[], ExperimentResult
         "E14": ("integrity soak", run_e14),
         "E15": ("caching gateway", run_e15),
         "E16": ("manager failover", run_e16),
+        "E17": ("fleet scale", run_e17),
         "A1": ("block size", run_a1_blocksize),
         "A2": ("server scaling", run_a2_server_scaling),
         "A3": ("TCP window", run_a3_window),

@@ -27,11 +27,44 @@ Two entry points share the solver core:
 
 The allocation is the unique max-min fair solution, so solving components
 independently yields the same rates as one global solve (components share
-no links by construction); only float round-off in the last bits differs.
+no links by construction).
+
+Route-class aggregation (weights)
+---------------------------------
+
+Columns carry an integer *weight*: a weight-``w`` column stands for ``w``
+flows with the same link-incidence column and the same per-flow cap (a
+"route class"). Water-filling treats it as ``w`` demanders on every link
+it crosses, and the column's solved rate is the *per-member* rate — by
+symmetry, max-min fairness gives identical members identical rates, so no
+division back is ever needed.
+
+Exactness argument (why weighted class-space solving is bit-identical to
+solving one column per member flow):
+
+* per-link active counts are sums of integer weights — exact in IEEE
+  doubles under any summation order, so class space and flow space
+  compute the same ``counts``;
+* fair shares (``remaining / counts``), per-flow share minima, and every
+  cap comparison are single operations on identical inputs;
+* the only genuine float *accumulation* is draining fixed flows from
+  ``remaining``. It is computed per link as the **exactly rounded** sum
+  of the round's fixed demand (``math.fsum``), with each class's demand
+  ``w * r`` contributed as its power-of-two decomposition
+  ``sum(r * 2^i for set bits i of w)`` — every term exact, so flow space
+  (``w`` copies of ``r``) and class space feed fsum term multisets with
+  the same exact value, and exactly rounded sums of equal reals are
+  bit-equal.
+
+The same argument makes the result independent of how the union-find
+happens to have coarsened components: per-link quantities only ever see
+that link's own flows, so gluing unrelated groups into one solve cannot
+move a bit.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -42,6 +75,84 @@ from repro.sim.profile import PROFILE
 _REL_EPS = 1e-9
 
 
+def _pow2_terms(w: int) -> Tuple[float, ...]:
+    """Power-of-two decomposition of integer ``w`` as exact float factors."""
+    out = []
+    while w:
+        low = w & -w
+        out.append(float(low))
+        w -= low
+    return tuple(out)
+
+
+def _exact_drain(
+    remaining: np.ndarray,
+    fixed_cols: np.ndarray,
+    rates: np.ndarray,
+    weights: np.ndarray,
+    flows_cat: np.ndarray,
+    links_cat: np.ndarray,
+) -> None:
+    """Subtract the newly fixed columns' demand from ``remaining``.
+
+    Per link the update is the exactly rounded (``math.fsum``) value of
+    ``remaining[l] - sum(w_c * r_c)`` over the round's fixed columns
+    crossing ``l``, with each ``w_c * r_c`` expanded into exact
+    power-of-two terms — see the module docstring's exactness argument.
+    Clamped at zero like the allocation loop always has.
+
+    Vectorized by weight bit: set bit ``b`` of column ``c`` contributes
+    one ``(link, r_c * 2^b)`` entry per link it crosses. A link receiving
+    a single entry is updated with plain IEEE subtraction — exactly
+    rounded by definition, so bit-equal to the fsum of the same two
+    terms (and to flow space, where ``2^b`` equal members sum exactly).
+    Only links receiving multiple entries pay for ``math.fsum``.
+    """
+    if not fixed_cols.size:
+        return
+    w_fixed = weights[fixed_cols].astype(np.int64)
+    maxw = int(w_fixed.max())
+    mask = np.zeros(weights.shape[0], dtype=bool)
+    links_parts: List[np.ndarray] = []
+    vals_parts: List[np.ndarray] = []
+    bit = 1
+    while bit <= maxw:
+        cols_b = fixed_cols if maxw == 1 else fixed_cols[(w_fixed & bit) != 0]
+        if cols_b.size:
+            mask[:] = False
+            mask[cols_b] = True
+            sel = mask[flows_cat]
+            links_parts.append(links_cat[sel])
+            vals_parts.append(rates[flows_cat[sel]] * float(bit))
+        bit <<= 1
+    if len(links_parts) == 1:
+        links_e, vals_e = links_parts[0], vals_parts[0]
+    else:
+        links_e = np.concatenate(links_parts)
+        vals_e = np.concatenate(vals_parts)
+    if not links_e.size:
+        return
+    counts = np.bincount(links_e, minlength=remaining.shape[0])
+    is_multi = counts[links_e] > 1
+    if is_multi.any():
+        order = np.argsort(links_e[is_multi], kind="stable")
+        ml = links_e[is_multi][order]
+        mv = (-vals_e[is_multi][order]).tolist()
+        seg = np.flatnonzero(np.diff(ml)) + 1
+        seg_starts = np.concatenate(([0], seg))
+        seg_ends = np.concatenate((seg, [ml.shape[0]]))
+        for link, a, b in zip(ml[seg_starts].tolist(),
+                              seg_starts.tolist(), seg_ends.tolist()):
+            acc = math.fsum([remaining[link], *mv[a:b]])
+            remaining[link] = acc if acc > 0.0 else 0.0
+        single = ~is_multi
+        if not single.any():
+            return
+        links_e, vals_e = links_e[single], vals_e[single]
+    rem = remaining[links_e] - vals_e
+    remaining[links_e] = np.where(rem > 0.0, rem, 0.0)
+
+
 def _water_fill(
     M: np.ndarray,
     Mf: np.ndarray,
@@ -49,33 +160,39 @@ def _water_fill(
     fcaps: np.ndarray,
     rates: np.ndarray,
     unfixed: np.ndarray,
+    weights: Optional[np.ndarray] = None,
 ) -> None:
     """Progressive filling over incidence ``M``; writes ``rates`` in place.
 
     ``M`` is the L×F bool incidence matrix, ``Mf`` its float view (bool @
     bool would be a logical OR, not a count). Only flows in ``unfixed``
     participate; columns outside it must already hold their final rate 0
-    contribution (pathless flows never enter here).
+    contribution (pathless flows never enter here). ``weights`` holds the
+    integer member multiplicity per column (``None`` = all ones); the
+    solved rate of a weight-``w`` column is the per-member rate.
 
     Bit-identity note: the per-flow fair share is a *min* over the links
-    of a path and the per-link active count is a sum of 1.0s — both are
-    exact in IEEE floats under any evaluation order, so the sparse
-    gather/``reduceat``/``bincount`` formulation below produces the same
-    bits as the dense ``where(...).min(axis=0)`` / ``Mf @ unfixed`` it
-    replaces. The ``remaining`` update, by contrast, is a genuine float
-    sum whose rounding depends on association — it stays the exact
-    ``Mf @ (rates * mask)`` matvec.
+    of a path and the per-link active count is a sum of integer weights —
+    both are exact in IEEE floats under any evaluation order, so the
+    sparse gather/``reduceat``/``bincount`` formulation below produces
+    the same bits as the dense formulation, and class space the same bits
+    as flow space. The ``remaining`` drain is the one genuine float
+    accumulation; it goes through :func:`_exact_drain` (exactly rounded
+    per link), which the module docstring argues is multiplicity- and
+    association-independent.
     """
     nlinks, nflows = M.shape
     remaining = caps.copy()
+    if weights is None:
+        weights = np.ones(nflows)
 
     # CSC view: for each flow (in column order), the link rows it crosses.
     flows_cat, links_cat = np.nonzero(M.T)
     per_flow = np.bincount(flows_cat, minlength=nflows)
-    sparse = bool(nflows) and bool(per_flow.all())  # reduceat needs >=1 link/flow
-    if sparse:
-        starts = np.zeros(nflows, dtype=np.intp)
+    starts = np.zeros(nflows, dtype=np.intp)
+    if nflows:
         np.cumsum(per_flow[:-1], out=starts[1:])
+    sparse = bool(nflows) and bool(per_flow.all())  # reduceat needs >=1 link/flow
 
     # Bound: every round fixes at least one flow (either the capped set, or
     # the flows of a newly saturated bottleneck link), so nflows + nlinks
@@ -87,10 +204,12 @@ def _water_fill(
             if sparse:
                 live_entries = unfixed[flows_cat]
                 counts = np.bincount(
-                    links_cat[live_entries], minlength=nlinks
-                ).astype(float)
+                    links_cat[live_entries],
+                    weights=weights[flows_cat[live_entries]],
+                    minlength=nlinks,
+                )
             else:
-                counts = Mf @ unfixed  # active flows per link
+                counts = Mf @ (unfixed * weights)  # active members per link
             share = np.where(counts > 0, remaining / np.maximum(counts, 1), np.inf)
             # Per-flow fair share: min share over the links of its path.
             if sparse:
@@ -101,18 +220,23 @@ def _water_fill(
             capped = unfixed & (fcaps <= shares_per_flow * (1 + _REL_EPS))
             if capped.any():
                 rates[capped] = fcaps[capped]
-                np.subtract(remaining, Mf @ (rates * capped), out=remaining)
-                np.maximum(remaining, 0.0, out=remaining)
                 unfixed &= ~capped
+                # Skip the drain when this round fixed the last columns:
+                # remaining is local and never read again, so the skip
+                # cannot move a bit of any rate.
+                if unfixed.any():
+                    _exact_drain(remaining, np.nonzero(capped)[0], rates,
+                                 weights, flows_cat, links_cat)
                 continue
 
             live = shares_per_flow[unfixed]
             m = live.min()
             newly = unfixed & (shares_per_flow <= m * (1 + _REL_EPS))
             rates[newly] = np.minimum(shares_per_flow[newly], fcaps[newly])
-            np.subtract(remaining, Mf @ (rates * newly), out=remaining)
-            np.maximum(remaining, 0.0, out=remaining)
             unfixed &= ~newly
+            if unfixed.any():
+                _exact_drain(remaining, np.nonzero(newly)[0], rates,
+                             weights, flows_cat, links_cat)
         else:  # pragma: no cover - loop bound is a proof, not a code path
             raise RuntimeError("progressive filling failed to converge")
 
@@ -121,6 +245,7 @@ def max_min_rates(
     link_caps: Sequence[float],
     flow_links: Sequence[Sequence[int]],
     flow_caps: Sequence[float],
+    flow_weights: Optional[Sequence[int]] = None,
 ) -> np.ndarray:
     """Allocate rates to flows.
 
@@ -134,6 +259,10 @@ def max_min_rates(
     flow_caps:
         Per-flow rate cap (``inf`` allowed only for flows with a non-empty
         path; a pathless flow must have a finite cap).
+    flow_weights:
+        Optional member multiplicity per entry (route-class aggregation):
+        a weight-``w`` entry stands for ``w`` identical flows and its
+        returned rate is the per-member rate. Default all ones.
 
     Returns
     -------
@@ -141,7 +270,8 @@ def max_min_rates(
 
     Properties (tested): no link oversubscribed; every flow gets a positive
     rate; a flow is either at its cap or has a bottleneck link that is fully
-    used; allocation is max-min fair.
+    used; allocation is max-min fair; a weight-``w`` entry gets the same
+    rate as ``w`` separate weight-1 entries would, bit for bit.
     """
     nflows = len(flow_links)
     caps = np.asarray(link_caps, dtype=float)
@@ -153,6 +283,14 @@ def max_min_rates(
         raise ValueError("flow caps must be positive")
     if np.any(caps <= 0):
         raise ValueError("link capacities must be positive")
+    if flow_weights is None:
+        weights = np.ones(nflows)
+    else:
+        weights = np.asarray(flow_weights, dtype=float)
+        if weights.shape[0] != nflows:
+            raise ValueError("flow_weights length must match flow_links")
+        if np.any(weights < 1) or np.any(weights != np.floor(weights)):
+            raise ValueError("flow weights must be positive integers")
 
     rates = np.zeros(nflows)
     if nflows == 0:
@@ -169,7 +307,7 @@ def max_min_rates(
         raise ValueError("a flow with an empty path must have a finite cap")
     rates[pathless] = fcaps[pathless]
 
-    _water_fill(M, M.astype(np.float64), caps, fcaps, rates, ~pathless)
+    _water_fill(M, M.astype(np.float64), caps, fcaps, rates, ~pathless, weights)
     return rates
 
 
@@ -229,6 +367,7 @@ class FairshareState:
         self._M = np.zeros((self._nlinks, cap), dtype=bool)
         self._fcaps = np.zeros(cap)
         self._rates = np.zeros(cap)
+        self._weights = np.zeros(cap)
         self._active = np.zeros(cap, dtype=bool)
         self._paths: List[Optional[List[int]]] = [None] * cap
         # Popped back-first so fresh columns are handed out in index order.
@@ -248,6 +387,7 @@ class FairshareState:
         self.solves = 0
         self.solved_rows = 0
         self.single_flow_solves = 0
+        self.weight_changes = 0
 
     # -- union-find -----------------------------------------------------------
 
@@ -286,7 +426,7 @@ class FairshareState:
         M = np.zeros((self._nlinks, new), dtype=bool)
         M[:, :old] = self._M
         self._M = M
-        for name in ("_fcaps", "_rates"):
+        for name in ("_fcaps", "_rates", "_weights"):
             arr = np.zeros(new)
             arr[:old] = getattr(self, name)
             setattr(self, name, arr)
@@ -330,15 +470,23 @@ class FairshareState:
 
     # -- flow membership --------------------------------------------------------
 
-    def add_flow(self, path: Sequence[int], fcap: float) -> int:
-        """Insert a flow crossing link ids ``path``; returns its column."""
+    def add_flow(self, path: Sequence[int], fcap: float, weight: int = 1) -> int:
+        """Insert a flow crossing link ids ``path``; returns its column.
+
+        ``weight`` is the route-class member multiplicity: a weight-``w``
+        column is solved as ``w`` identical flows, and its rate is the
+        per-member rate. Use :meth:`set_weight` for join/leave updates.
+        """
         if fcap <= 0:
             raise ValueError("flow caps must be positive")
+        if weight < 1 or weight != int(weight):
+            raise ValueError("flow weight must be a positive integer")
         if not self._free:
             self._grow_cols()
         col = self._free.pop()
         self._fcaps[col] = fcap
         self._rates[col] = 0.0
+        self._weights[col] = float(weight)
         self._active[col] = True
         self.nactive += 1
         path = list(path)
@@ -373,6 +521,7 @@ class FairshareState:
         self._paths[col] = None
         self._rates[col] = 0.0
         self._fcaps[col] = 0.0
+        self._weights[col] = 0.0
         self.nactive -= 1
         if path:
             self._M[path, col] = False
@@ -387,6 +536,35 @@ class FairshareState:
                     self._dirty.discard(root)
             self._removals += 1
         self._free.append(col)
+
+    def set_weight(self, col: int, weight: int) -> None:
+        """Adjust a column's member multiplicity (route-class join/leave).
+
+        The column's component re-solves at the next :meth:`solve`. Weight
+        0 parks the column: it stays registered (its links stay unioned,
+        so a later re-join is a pure weight bump with no matrix or
+        union-find churn) but is skipped by the solver entirely — a parked
+        column costs nothing per solve. A parked column's links staying
+        glued cannot move a bit: per-link arithmetic only ever sees a
+        link's own member flows (see the module docstring).
+        """
+        if not self._active[col]:
+            raise ValueError(f"column {col} is not active")
+        if weight < 0 or weight != int(weight):
+            raise ValueError("flow weight must be a non-negative integer")
+        old = self._weights[col]
+        w = float(weight)
+        if w == old:
+            return
+        self._weights[col] = w
+        self.weight_changes += 1
+        path = self._paths[col]
+        if path:
+            self._dirty.add(self._find(path[0]))
+        # Pathless classes keep rate == fcap at any weight; nothing to do.
+
+    def weight_of(self, col: int) -> int:
+        return int(self._weights[col])
 
     def rate_of(self, col: int) -> float:
         return float(self._rates[col])
@@ -447,19 +625,29 @@ class FairshareState:
             cols_set = self._comp_cols.get(root)
             if not cols_set:
                 continue
-            if len(cols_set) == 1:
-                # Single-flow component: water-filling reduces to one round.
-                # counts are all 1, so the fair share on each link is its
-                # full capacity and the flow's share is the exact min over
-                # its path — both order-independent, so this produces the
-                # same bits as the general solver below.
-                (c,) = cols_set
+            # Weight-0 (parked) class columns keep the component glued but
+            # take no bandwidth; the solver never sees them.
+            comp_cols = np.fromiter(cols_set, dtype=np.intp,
+                                    count=len(cols_set))
+            live_cols = comp_cols[self._weights[comp_cols] > 0.0]
+            if not live_cols.size:
+                continue
+            if live_cols.size == 1:
+                # Single-column component: water-filling reduces to one
+                # round. counts are ``w`` on every link of the path, so the
+                # column's share is min(caps over path) / w — division by a
+                # constant is weakly monotone, so the min commutes with it
+                # and this produces the same bits as the general solver.
+                c = int(live_cols[0])
                 path = self._paths[c]
                 m = self._caps[path[0]]
                 for l in path[1:]:
                     cl = self._caps[l]
                     if cl < m:
                         m = cl
+                w = self._weights[c]
+                if w != 1.0:
+                    m = m / w
                 fcap = self._fcaps[c]
                 rate = fcap if fcap <= m * (1 + _REL_EPS) else min(m, fcap)
                 self.single_flow_solves += 1
@@ -470,7 +658,7 @@ class FairshareState:
                     moved_old.append(self._rates[moved].copy())
                     self._rates[c] = rate
                 continue
-            cols = np.fromiter(sorted(cols_set), dtype=np.intp, count=len(cols_set))
+            cols = np.sort(live_cols)
             sub = self._M[:, cols]
             links = np.nonzero(sub.any(axis=1))[0]
             subM = sub[links]
@@ -487,6 +675,7 @@ class FairshareState:
                 fcaps,
                 rates,
                 np.ones(cols.shape[0], dtype=bool),
+                self._weights[cols],
             )
             diff = rates != self._rates[cols]
             if diff.any():
@@ -510,7 +699,16 @@ class FairshareState:
         capacity vector to find which links are saturated at each rate
         change. Only called when tracing is enabled.
         """
-        return self._M @ (self._rates * self._active)
+        return self._M @ (self._rates * self._active * self._weights)
+
+    def class_stats(self) -> Tuple[int, int]:
+        """(active solver columns, total member weight across them).
+
+        The aggregation ratio ``members / columns`` is the solver-dimension
+        reduction route-class aggregation bought (1.0 when unaggregated).
+        """
+        act = self._active
+        return int(np.count_nonzero(act)), int(self._weights[act].sum())
 
     def component_sizes(self) -> List[int]:
         """Active-flow count per link-sharing component (for tests/benches)."""

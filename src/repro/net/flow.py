@@ -9,26 +9,51 @@ one simulation instant coalesce into a single re-solve.
 The re-solve is *incremental* end-to-end (see
 :class:`repro.net.fairshare.FairshareState`): flows live in an
 insertion-ordered registry (insertion order == seq order, so nothing is
-ever re-sorted), each flow owns a persistent column in the solver's
-incidence state, and an arrival/departure re-solves only the connected
-component of the link-sharing graph it touches. Per-flow kinematics
-(residual bytes, predicted finish time) are column-aligned numpy arrays:
-residuals advance lazily and vectorized for exactly the columns whose rate
+ever re-sorted), an arrival/departure re-solves only the connected
+component of the link-sharing graph it touches, and per-flow kinematics
+(residual bytes, predicted finish time) are slot-aligned numpy arrays:
+residuals advance lazily and vectorized for exactly the flows whose rate
 changed, completions are detected by one vectorized compare against the
 predicted-finish array, and the next-completion timer is its minimum —
 no per-flow Python loop survives on the per-event path.
 
+Route-class aggregation
+-----------------------
+
+The NSD mesh is symmetric: N clients reading from M servers produce N·M
+flows but only as many *distinct* (link-incidence column, TCP cap) pairs
+as there are route classes — and flows in the same class provably receive
+identical max-min rates. The engine therefore solves in class space by
+default (``aggregate=True``): each distinct ``(route links, cap)`` key
+owns one weighted :class:`~repro.net.fairshare.FairshareState` column, a
+repeat transfer *joins* the class (a weight bump — no incidence-matrix or
+union-find churn), a completion *leaves* it, and a class whose last
+member left is parked at weight 0 (kept registered for cheap rejoin,
+bounded by an LRU evict). Solver dimension drops from O(flows) to
+O(classes).
+
+Per-flow accounting stays exact: every flow owns an engine-level *slot*
+(kinematics arrays + its entry in tag indexes), class rates are expanded
+back to member slots after each solve, and the slot allocator reuses the
+solver's exact LIFO/doubling discipline so slot numbering — and therefore
+every order-sensitive float sum over slots — is identical whether the
+engine aggregates or not. Combined with the solver's exactly-rounded
+arithmetic (see ``fairshare``'s module docstring), ``aggregate=True`` and
+``aggregate=False`` produce bit-identical per-flow rate series, byte
+accounting, and tag series; the flag is an escape hatch, not a tolerance.
+
 Tags: each transfer may carry string tags ("wan", "sdsc->ncsa", ...); the
 engine maintains an exact piecewise-constant aggregate-rate series per tag —
 this is what the figure harnesses plot (e.g. the three SCinet link traces of
-Fig 8). Each tag keeps the set of columns carrying it, so a snapshot is one
-vectorized gather-sum per tag.
+Fig 8). Each tag keeps an incrementally maintained slot-index array
+(append on add, swap-delete on finish), so a snapshot is one vectorized
+gather-sum per tag with no per-change rebuild.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +82,10 @@ _DONE_EPS_FRACTION = 1e-12
 #: as saturated.
 _ATTR_EPS = 1e-6
 
+#: Weight-0 (memberless) route classes kept parked for cheap rejoin before
+#: the least-recently-parked one is evicted from the solver.
+_MAX_PARKED_CLASSES = 256
+
 
 def _cap_kind(
     tcp: TcpModel, rtt: float, peer_cap: Optional[float],
@@ -84,7 +113,7 @@ class Flow:
     """One in-flight transfer.
 
     While in flight, the engine tracks the flow's rate and residual bytes
-    in column-aligned arrays (``flow.col`` indexes them); the ``rate`` and
+    in slot-aligned arrays (``flow.slot`` indexes them); the ``rate`` and
     ``remaining`` attributes here are materialized when the flow finishes.
     Use :meth:`FlowEngine.flow_rate` for a mid-flight reading.
     """
@@ -102,7 +131,7 @@ class Flow:
         "done",
         "start_time",
         "seq",
-        "col",
+        "slot",
         "cap_kind",
     )
 
@@ -130,7 +159,7 @@ class Flow:
         self.done = done
         self.start_time = now
         self.seq = -1  # assigned by the engine for deterministic ordering
-        self.col = -1  # column in the engine's FairshareState
+        self.slot = -1  # kinematics slot in the engine's arrays
         self.cap_kind: Optional[str] = None  # which cap term binds (tracing)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -138,6 +167,60 @@ class Flow:
             f"<Flow {self.src}->{self.dst} {self.remaining:.3g}/{self.size:.3g}B "
             f"@{self.rate:.3g}B/s>"
         )
+
+
+class _RouteClass:
+    """One (route links, rate cap) equivalence class of active flows.
+
+    Owns one weighted solver column; ``members`` maps slot -> Flow in
+    insertion order. A class with ``weight == 0`` is parked: the column
+    stays registered (rejoin is a pure weight bump) until LRU-evicted.
+    """
+
+    __slots__ = ("key", "col", "members")
+
+    def __init__(self, key, col: int) -> None:
+        self.key = key
+        self.col = col
+        self.members: Dict[int, Flow] = {}
+
+
+class _TagIndex:
+    """Incrementally maintained array of the slots carrying one tag.
+
+    Append on add; swap-with-last on remove. The array order (insertion
+    order perturbed by deterministic swap-deletes) is a pure function of
+    the add/remove sequence, so the order-sensitive float sum in
+    ``_snapshot_tags`` associates identically across engine modes.
+    """
+
+    __slots__ = ("arr", "n", "pos")
+
+    def __init__(self) -> None:
+        self.arr = np.empty(8, dtype=np.intp)
+        self.n = 0
+        self.pos: Dict[int, int] = {}
+
+    def add(self, slot: int) -> None:
+        if self.n == self.arr.shape[0]:
+            arr = np.empty(2 * self.n, dtype=np.intp)
+            arr[: self.n] = self.arr
+            self.arr = arr
+        self.arr[self.n] = slot
+        self.pos[slot] = self.n
+        self.n += 1
+
+    def remove(self, slot: int) -> None:
+        j = self.pos.pop(slot)
+        last = self.n - 1
+        if j != last:
+            moved = self.arr[last]
+            self.arr[j] = moved
+            self.pos[int(moved)] = j
+        self.n = last
+
+    def view(self) -> np.ndarray:
+        return self.arr[: self.n]
 
 
 class FlowEngine:
@@ -149,38 +232,63 @@ class FlowEngine:
         network: Network,
         local_rate: float = GB(2.0),
         default_tcp: Optional[TcpModel] = None,
+        aggregate: bool = True,
     ) -> None:
-        """``local_rate`` bounds same-node (loopback/memory) transfers."""
+        """``local_rate`` bounds same-node (loopback/memory) transfers.
+
+        ``aggregate=False`` disables route-class aggregation (one solver
+        column per flow) — an escape hatch and the reference half of the
+        bit-identity property tests; results are identical either way.
+        """
         if local_rate <= 0:
             raise ValueError("local_rate must be positive")
         self.sim = sim
         self.network = network
         self.local_rate = local_rate
         self.default_tcp = default_tcp or TcpModel()
+        self.aggregate = aggregate
         #: Insertion-ordered registry (dict-as-ordered-set): iteration order
         #: is seq order, so nothing ever needs re-sorting.
         self.flows: Dict[Flow, None] = {}
         self.bytes_moved = 0.0
         self.completed_flows = 0
         #: Always-on solver-churn counters (scraped by repro.obs; the
-        #: finer-grained PROFILE counters stay opt-in).
+        #: finer-grained PROFILE counters stay opt-in). ``rate_changes``
+        #: counts member flows whose rate moved (mode-independent).
         self.recomputes = 0
         self.rate_changes = 0
+        #: Route-class registry health: transfers absorbed by a weight
+        #: bump on an existing class (no solver-column churn).
+        self.class_joins = 0
         self._state = FairshareState(network.link_capacities())
-        self._col_flow: Dict[int, Flow] = {}
-        # Column-aligned kinematics, grown in lockstep with the state's
-        # column capacity. A column's residual is exact as of _last_t[col];
-        # the rate has been constant since, so the live residual at t is
-        # _rem[col] - rate * (t - _last_t[col]) and the predicted finish
-        # time _finish[col] is exact (inf = inactive or not yet rated).
+        #: (route links, cap) key -> class; unaggregated engines key by
+        #: flow seq so classes never merge and park nothing.
+        self._classes: Dict[object, _RouteClass] = {}
+        self._class_by_col: Dict[int, _RouteClass] = {}
+        #: Parked (weight-0) class keys in LRU order -> class.
+        self._parked: Dict[object, _RouteClass] = {}
+        #: Classes with live members (== solver columns doing work).
+        self.live_classes = 0
+        # Slot-aligned kinematics, grown on demand. A slot's residual is
+        # exact as of _last_t[slot]; the rate has been constant since, so
+        # the live residual at t is _rem[slot] - rate * (t - _last_t[slot])
+        # and the predicted finish time _finish[slot] is exact (inf =
+        # inactive or not yet rated). The allocator mirrors the solver's
+        # LIFO/doubling column discipline so slot numbering is identical
+        # across aggregate modes (see the module docstring).
         cap = self._state.capacity
         self._rem = np.zeros(cap)
         self._last_t = np.zeros(cap)
         self._fsize = np.zeros(cap)
         self._finish = np.full(cap, np.inf)
+        self._slot_rate = np.zeros(cap)
+        self._slot_flow: Dict[int, Flow] = {}
+        self._free_slots: List[int] = list(range(cap - 1, -1, -1))
+        #: (slot, col) pairs added since the last recompute; any whose
+        #: class rate did not move still needs its slot rated.
+        self._fresh_slots: List[Tuple[int, int]] = []
         self._tag_series: Dict[str, TimeSeries] = {}
-        self._tag_cols: Dict[str, Set[int]] = {}
-        self._tag_idx: Dict[str, np.ndarray] = {}  # fromiter cache, see _snapshot_tags
+        self._tag_idx: Dict[str, _TagIndex] = {}
         self._recompute_pending = False
         self._timer_token = 0
         self._next_seq = 0
@@ -236,19 +344,22 @@ class FlowEngine:
             flow.cap_kind = _cap_kind(tcp, rtt, cap, bool(links), self.local_rate)
             TRACE.flow_created(self.sim, flow.seq, src, dst, nbytes, flow.tags)
         self.flows[flow] = None
-        col = flow.col = self._state.add_flow(flow.path_ids, flow_cap)
-        self._col_flow[col] = flow
-        cap_now = self._state.capacity
-        if cap_now > self._rem.shape[0]:
-            self._grow_cols(cap_now)
-        self._rem[col] = nbytes
-        self._last_t[col] = now
-        self._fsize[col] = nbytes
-        self._finish[col] = np.inf
+        slot = flow.slot = self._alloc_slot()
+        self._slot_flow[slot] = flow
+        self._rem[slot] = nbytes
+        self._last_t[slot] = now
+        self._fsize[slot] = nbytes
+        self._finish[slot] = np.inf
+        self._slot_rate[slot] = 0.0
+        cls = self._join_class(flow)
+        cls.members[slot] = flow
+        self._fresh_slots.append((slot, cls.col))
         for tag in flow.tags:
             self.tag_rate_series(tag)
-            self._tag_cols.setdefault(tag, set()).add(col)
-            self._tag_idx.pop(tag, None)
+            idx = self._tag_idx.get(tag)
+            if idx is None:
+                idx = self._tag_idx[tag] = _TagIndex()
+            idx.add(slot)
         self._mark_dirty()
         return done
 
@@ -268,7 +379,11 @@ class FlowEngine:
         """Current allocated rate of an in-flight flow (0 if finished)."""
         if flow not in self.flows:
             return 0.0
-        return self._state.rate_of(flow.col)
+        return float(self._slot_rate[flow.slot])
+
+    def class_count(self) -> int:
+        """Route classes with live members (== working solver columns)."""
+        return self.live_classes
 
     def _on_link_rate_change(self, link, old_rate: float) -> None:
         """Network hook: a ``Link.set_rate`` schedules a recompute now.
@@ -308,24 +423,81 @@ class FlowEngine:
         util = fairshare.link_utilization(
             self.network.link_capacities(),
             [f.path_ids for f in flows],
-            [self._state.rate_of(f.col) for f in flows],
+            [float(self._slot_rate[f.slot]) for f in flows],
         )
         carrying = sorted({l for f in flows for l in f.path_ids})
         return {self.network.links[l].name: float(util[l]) for l in carrying}
 
     # -- engine internals -------------------------------------------------------
 
-    def _grow_cols(self, capacity: int) -> None:
-        old = self._rem.shape[0]
-        for name, fill in (
-            ("_rem", 0.0),
-            ("_last_t", 0.0),
-            ("_fsize", 0.0),
-            ("_finish", np.inf),
-        ):
-            arr = np.full(capacity, fill)
-            arr[:old] = getattr(self, name)
-            setattr(self, name, arr)
+    def _alloc_slot(self) -> int:
+        if not self._free_slots:
+            old = self._rem.shape[0]
+            new = max(2 * old, 1)
+            for name, fill in (
+                ("_rem", 0.0),
+                ("_last_t", 0.0),
+                ("_fsize", 0.0),
+                ("_finish", np.inf),
+                ("_slot_rate", 0.0),
+            ):
+                arr = np.full(new, fill)
+                arr[:old] = getattr(self, name)
+                setattr(self, name, arr)
+            self._free_slots.extend(range(new - 1, old - 1, -1))
+        return self._free_slots.pop()
+
+    def _join_class(self, flow: Flow) -> _RouteClass:
+        """Find-or-create the route class for ``flow`` and count it in."""
+        if self.aggregate:
+            key = (tuple(flow.path_ids), flow.cap)
+        else:
+            key = flow.seq  # unique: one class (and column) per flow
+        cls = self._classes.get(key)
+        if cls is None:
+            col = self._state.add_flow(flow.path_ids, flow.cap)
+            cls = _RouteClass(key, col)
+            self._classes[key] = cls
+            self._class_by_col[col] = cls
+        else:
+            w = self._state.weight_of(cls.col)
+            if w == 0:
+                del self._parked[key]
+            self._state.set_weight(cls.col, w + 1)
+            self.class_joins += 1
+            if PROFILE.enabled:
+                PROFILE.count("flowengine.class_joins")
+        if not cls.members:
+            self.live_classes += 1
+        return cls
+
+    def _leave_class(self, flow: Flow) -> None:
+        cls = self._classes[
+            (tuple(flow.path_ids), flow.cap) if self.aggregate else flow.seq
+        ]
+        del cls.members[flow.slot]
+        if cls.members:
+            self._state.set_weight(
+                cls.col, self._state.weight_of(cls.col) - 1
+            )
+            return
+        self.live_classes -= 1
+        if not self.aggregate:
+            self._drop_class(cls)
+            return
+        # Park for cheap rejoin; evict the least-recently-parked class
+        # beyond the cap so idle route keys cannot grow the solver forever.
+        self._state.set_weight(cls.col, 0)
+        self._parked[cls.key] = cls
+        if len(self._parked) > _MAX_PARKED_CLASSES:
+            _, evicted = next(iter(self._parked.items()))
+            del self._parked[evicted.key]
+            self._drop_class(evicted)
+
+    def _drop_class(self, cls: _RouteClass) -> None:
+        self._state.remove_flow(cls.col)
+        del self._classes[cls.key]
+        del self._class_by_col[cls.col]
 
     def _mark_dirty(self) -> None:
         if self._recompute_pending:
@@ -343,27 +515,63 @@ class FlowEngine:
         self._finish_drained(now)
         if self.flows:
             self._state.set_link_caps(self.network.link_capacities())
-            cols, old_rates = self._state.solve()
+            cols, _ = self._state.solve()
+            # Expand changed class rates to member slots, then pick up
+            # fresh members whose class rate happened not to move (their
+            # slot rate is still 0; real rates are always positive).
+            changed_slots: List[int] = []
+            changed_cols: List[int] = []
             if cols.size:
-                self.rate_changes += int(cols.size)
-                if PROFILE.enabled:
-                    PROFILE.count("flowengine.rate_changes", cols.size)
-                # Materialize residuals for exactly the flows whose rate
-                # changed (their old rate held from _last_t until now)...
-                rem = np.maximum(
-                    0.0, self._rem[cols] - old_rates * (now - self._last_t[cols])
-                )
-                self._rem[cols] = rem
-                self._last_t[cols] = now
-                # ... and re-predict their finish times at the new rates.
-                new_rates = self._state.rates[cols]
-                self._finish[cols] = np.where(
-                    rem <= self._fsize[cols] * _DONE_EPS_FRACTION,
-                    now,
-                    now + rem / new_rates,
-                )
-                if TRACE.enabled:
-                    self._trace_rate_changes(cols)
+                by_col = self._class_by_col
+                for ci in cols.tolist():
+                    members = by_col[ci].members
+                    changed_slots.extend(members)
+                    changed_cols.extend([ci] * len(members))
+            if self._fresh_slots:
+                seen = set(changed_slots)
+                for slot, col in self._fresh_slots:
+                    if (
+                        slot not in seen
+                        and self._slot_rate[slot] == 0.0
+                        and slot in self._slot_flow
+                    ):
+                        changed_slots.append(slot)
+                        changed_cols.append(col)
+                self._fresh_slots.clear()
+            if changed_slots:
+                slots = np.asarray(changed_slots, dtype=np.intp)
+                old_rates = self._slot_rate[slots]
+                new_rates = self._state.rates[
+                    np.asarray(changed_cols, dtype=np.intp)
+                ]
+                moved = new_rates != old_rates
+                if moved.any():
+                    slots = slots[moved]
+                    old_rates = old_rates[moved]
+                    new_rates = new_rates[moved]
+                    self.rate_changes += int(slots.size)
+                    if PROFILE.enabled:
+                        PROFILE.count("flowengine.rate_changes", slots.size)
+                    # Materialize residuals for exactly the flows whose
+                    # rate changed (their old rate held from _last_t until
+                    # now)...
+                    rem = np.maximum(
+                        0.0,
+                        self._rem[slots] - old_rates * (now - self._last_t[slots]),
+                    )
+                    self._rem[slots] = rem
+                    self._last_t[slots] = now
+                    self._slot_rate[slots] = new_rates
+                    # ... and re-predict finish times at the new rates.
+                    self._finish[slots] = np.where(
+                        rem <= self._fsize[slots] * _DONE_EPS_FRACTION,
+                        now,
+                        now + rem / new_rates,
+                    )
+                    if TRACE.enabled:
+                        self._trace_rate_changes(slots)
+        else:
+            self._fresh_slots.clear()
         self._snapshot_tags(now)
         self._schedule_next_completion(now)
 
@@ -372,12 +580,12 @@ class FlowEngine:
         due = np.nonzero(self._finish <= now + _DONE_EPS_SECONDS)[0]
         if not due.size:
             return
-        drained = [self._col_flow[int(c)] for c in due]
+        drained = [self._slot_flow[int(s)] for s in due]
         drained.sort(key=lambda f: f.seq)
         for f in drained:
             self._finish_flow(f)
 
-    def _trace_rate_changes(self, cols: np.ndarray) -> None:
+    def _trace_rate_changes(self, slots: np.ndarray) -> None:
         """Record each changed flow's new rate with its bound tag.
 
         A flow at (or within :data:`_ATTR_EPS` of) its cap is bound by
@@ -391,11 +599,11 @@ class FlowEngine:
             util = self._state.link_usage()[: caps.shape[0]] / caps
         else:
             util = caps
-        for c in cols:
-            flow = self._col_flow.get(int(c))
+        for s in slots:
+            flow = self._slot_flow.get(int(s))
             if flow is None:
                 continue
-            rate = self._state.rate_of(int(c))
+            rate = float(self._slot_rate[int(s)])
             if rate >= flow.cap * (1.0 - _ATTR_EPS):
                 bound = flow.cap_kind or "cap"
             else:
@@ -411,14 +619,15 @@ class FlowEngine:
             TRACE.flow_rate(self.sim, flow.seq, rate, bound)
 
     def _finish_flow(self, f: Flow) -> None:
-        col = f.col
+        slot = f.slot
         del self.flows[f]
-        self._state.remove_flow(col)
-        del self._col_flow[col]
-        self._finish[col] = np.inf
+        self._leave_class(f)
+        del self._slot_flow[slot]
+        self._finish[slot] = np.inf
+        self._slot_rate[slot] = 0.0
+        self._free_slots.append(slot)
         for tag in f.tags:
-            self._tag_cols[tag].discard(col)
-            self._tag_idx.pop(tag, None)
+            self._tag_idx[tag].remove(slot)
         f.rate = 0.0
         f.remaining = 0.0
         self.bytes_moved += f.size
@@ -433,19 +642,11 @@ class FlowEngine:
             f.done.succeed(f)
 
     def _snapshot_tags(self, now: float) -> None:
-        rates = self._state.rates
+        rates = self._slot_rate
         for tag, series in self._tag_series.items():
-            cols = self._tag_cols.get(tag)
-            if cols:
-                # Cache the fromiter materialization between membership
-                # changes. The cached array preserves the set's own
-                # iteration order, so the (order-sensitive) float sum
-                # below associates exactly as an uncached rebuild would.
-                idx = self._tag_idx.get(tag)
-                if idx is None:
-                    idx = np.fromiter(cols, dtype=np.intp, count=len(cols))
-                    self._tag_idx[tag] = idx
-                total = float(rates[idx].sum())
+            idx = self._tag_idx.get(tag)
+            if idx is not None and idx.n:
+                total = float(rates[idx.view()].sum())
             else:
                 total = 0.0
             series.add(now, total)

@@ -49,6 +49,12 @@ TAKEOVER_LATENCY = "tokens.takeover_latency"
 TAKEOVER_MTTR = "tokens.takeover_mttr"
 DETECTION_LATENCY = "faults.detection_latency"
 FAULT_MTTR = "faults.mttr"
+FLOW_ACTIVE = "flow.active"
+FLOW_RECOMPUTES = "flow.recomputes"
+SOLVED_ROWS = "fairshare.solved_rows"
+CLASSES = "flowengine.classes"
+CLASS_COLS = "fairshare.class_cols"
+AGG_RATIO = "flowengine.aggregation_ratio"
 
 
 def load_experiment(metrics_dir: str, exp_id: str) -> dict:
@@ -238,6 +244,45 @@ def control_plane_rollup(rows: List[dict]) -> List[dict]:
     return out
 
 
+def solver_rollup(rows: List[dict]) -> List[dict]:
+    """Rate-solver posture per engine from the final scrape.
+
+    One row per simulation universe (``sim`` label): active flows, live
+    route classes, solver columns, the aggregation ratio (member flows
+    per solver column — the dimension reduction route-class aggregation
+    bought), and cumulative recompute work.
+    """
+    last = _last_row(rows)
+    if last is None:
+        return []
+    per: Dict[str, Dict[str, float]] = {}
+
+    def bucket(labels: Dict[str, str]) -> Dict[str, float]:
+        sim = labels.get("sim", "-")
+        return per.setdefault(sim, {
+            "active": 0.0, "classes": 0.0, "cols": 0.0,
+            "ratio": 1.0, "recomputes": 0.0, "solved_rows": 0.0,
+        })
+
+    for key, v in last.get("gauges", {}).items():
+        family, labels = parse_key(key)
+        if family == FLOW_ACTIVE:
+            bucket(labels)["active"] = v
+        elif family == CLASSES:
+            bucket(labels)["classes"] = v
+        elif family == CLASS_COLS:
+            bucket(labels)["cols"] = v
+        elif family == AGG_RATIO:
+            bucket(labels)["ratio"] = v
+    for key, v in last.get("counters", {}).items():
+        family, labels = parse_key(key)
+        if family == FLOW_RECOMPUTES:
+            bucket(labels)["recomputes"] = v
+        elif family == SOLVED_ROWS:
+            bucket(labels)["solved_rows"] = v
+    return [{"sim": sim, **d} for sim, d in sorted(per.items())]
+
+
 def link_rollup(rows: List[dict]) -> List[dict]:
     """Per-link mean + peak utilization over the whole time series."""
     stats: Dict[str, List[float]] = {}
@@ -399,6 +444,21 @@ def render_experiment(exp: dict) -> List[str]:
                  "-" if c["mean"] is None else f"{c['mean'] * 1e3:.1f} ms",
                  "-" if c["max"] is None else f"{c['max'] * 1e3:.1f} ms"]
                 for c in control
+            ],
+        )
+
+    solver = solver_rollup(rows)
+    if solver:
+        lines.append("")
+        lines.append("  Rate solver:")
+        lines += _table(
+            ["sim", "active flows", "classes", "solver cols",
+             "agg ratio", "recomputes", "solved rows"],
+            [
+                [s["sim"], f"{s['active']:.0f}", f"{s['classes']:.0f}",
+                 f"{s['cols']:.0f}", f"{s['ratio']:.1f}x",
+                 f"{s['recomputes']:.0f}", f"{s['solved_rows']:.0f}"]
+                for s in solver
             ],
         )
 

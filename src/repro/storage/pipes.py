@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.sim.kernel import Event, Simulation
-from repro.sim.resources import Resource
+from repro.sim.resources import Request, Resource
 from repro.sim.trace import TRACE
 
 
@@ -68,6 +68,38 @@ class Pipe:
                 tr.end(self.sim, sid)
         self.bytes_served += nbytes
         self.ios_served += 1
+
+    def fast_transfer(self, nbytes: float, callback) -> bool:
+        """Serve ``nbytes`` through an *idle* stage without a process.
+
+        When a slot is free and nobody is queued, the slot is taken
+        synchronously (no grant event) and ``callback()`` runs after the
+        service time — one kernel event instead of the process + request +
+        timeout chain of :meth:`transfer`. Service completes at exactly
+        the sim time the slow path would have used, and contenders
+        arriving meanwhile queue behind the held slot as usual. Returns
+        False (doing nothing) when the stage is busy or tracing is on —
+        the caller must fall back to :meth:`transfer`.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        res = self._res
+        if TRACE.enabled or res.queue or len(res.users) >= res.capacity:
+            return False
+        # Untriggered Request: valid for release(), never enters the heap.
+        req = Request(res)
+        res.users.append(req)
+
+        def _served() -> None:
+            self.bytes_served += nbytes
+            self.ios_served += 1
+            res.release(req)
+            callback()
+
+        self.sim.schedule_callback(
+            self.service_time(nbytes), _served, name=f"{self.name}-fastxfer"
+        )
+        return True
 
     @property
     def queue_depth(self) -> int:

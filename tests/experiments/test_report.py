@@ -6,7 +6,7 @@ import pytest
 
 from repro.experiments.report import _registry, main, run_trace
 
-ALL_IDS = [f"E{i}" for i in range(1, 17)] + [f"A{i}" for i in range(1, 7)]
+ALL_IDS = [f"E{i}" for i in range(1, 18)] + [f"A{i}" for i in range(1, 7)]
 
 
 class TestRegistry:
